@@ -1,0 +1,263 @@
+// Command idlog evaluates IDLOG / DATALOG^C programs from files.
+//
+// Usage:
+//
+//	idlog [flags] program.idl
+//	idlog -i                 # interactive session
+//
+//	-facts file      fact file(s) loaded as input relations (repeatable)
+//	-load file.idb   binary snapshot loaded as input relations
+//	-save file.idb   write the result relations to a binary snapshot
+//	-query p,q       print only these predicates (default: all outputs)
+//	-seed n          use the seeded random oracle (default: sorted/deterministic)
+//	-enumerate       enumerate ALL answers of the query predicates
+//	-max-runs n      budget for -enumerate (default 100000)
+//	-optimize p      print the §4-optimized program w.r.t. p and exit
+//	-show            print the (choice-translated) program before running
+//	-stats           print evaluation statistics
+//
+// Fact files contain ground facts in program syntax, e.g.:
+//
+//	emp(joe, toys).
+//	emp(sue, shoes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"idlog"
+	"idlog/internal/ast"
+	"idlog/internal/parser"
+	"idlog/internal/storage"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+// Set implements flag.Value.
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var factFiles stringList
+	flag.Var(&factFiles, "facts", "fact file loaded as input relations (repeatable)")
+	loadSnap := flag.String("load", "", "binary snapshot loaded as input relations")
+	saveSnap := flag.String("save", "", "write the result relations to a binary snapshot")
+	query := flag.String("query", "", "comma-separated predicates to print (default: all outputs)")
+	seed := flag.Uint64("seed", 0, "seed for the random oracle")
+	useSeed := flag.Bool("random", false, "use the seeded random oracle (with -seed)")
+	enumerate := flag.Bool("enumerate", false, "enumerate all answers of the query predicates")
+	maxRuns := flag.Int("max-runs", 100000, "run budget for -enumerate")
+	optimize := flag.String("optimize", "", "print the optimized program w.r.t. this predicate and exit")
+	show := flag.Bool("show", false, "print the evaluated (choice-translated) program")
+	stats := flag.Bool("stats", false, "print evaluation statistics")
+	interactive := flag.Bool("i", false, "start an interactive session (REPL)")
+	explain := flag.String("explain", "", "print the derivation tree of a ground atom, e.g. 'tc(a, c)'")
+	flag.Parse()
+
+	if *interactive {
+		var preload []*ast.Clause
+		if *loadSnap != "" {
+			db, err := storage.LoadFile(*loadSnap)
+			if err != nil {
+				fatal(err)
+			}
+			preload = append(preload, databaseClauses(db)...)
+		}
+		for _, f := range factFiles {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				fatal(err)
+			}
+			prog, err := parser.Program(string(src))
+			if err != nil {
+				fatal(err)
+			}
+			preload = append(preload, prog.Clauses...)
+		}
+		runREPL(os.Stdin, os.Stdout, preload...)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: idlog [flags] program.idl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := idlog.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *optimize != "" {
+		opt, err := prog.Optimize(*optimize)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(opt.String())
+		return
+	}
+	if *show {
+		fmt.Print(prog.String())
+		fmt.Println("%----")
+	}
+
+	db := idlog.NewDatabase()
+	if *loadSnap != "" {
+		loaded, err := storage.LoadFile(*loadSnap)
+		if err != nil {
+			fatal(err)
+		}
+		db = loaded
+	}
+	for _, f := range factFiles {
+		if err := loadFacts(db, f); err != nil {
+			fatal(err)
+		}
+	}
+
+	preds := prog.OutputPredicates()
+	if *query != "" {
+		preds = strings.Split(*query, ",")
+	}
+
+	var opts []idlog.Option
+	if *useSeed || *seed != 0 {
+		opts = append(opts, idlog.WithSeed(*seed))
+	}
+	if *explain != "" {
+		opts = append(opts, idlog.WithTrace())
+	}
+
+	if *enumerate {
+		answers, err := prog.Enumerate(db, preds, append(opts, idlog.WithMaxRuns(*maxRuns))...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d answers:\n", len(answers))
+		for i, a := range answers {
+			fmt.Printf("answer %d:\n", i+1)
+			for _, p := range preds {
+				fmt.Printf("  %v\n", a.Relations[p])
+			}
+		}
+		return
+	}
+
+	res, err := prog.Eval(db, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if *saveSnap != "" {
+		out := idlog.NewDatabase()
+		for _, p := range prog.OutputPredicates() {
+			if r := res.Relation(p); r != nil {
+				out.SetRelation(p, r)
+			}
+		}
+		if err := storage.SaveFile(*saveSnap, out); err != nil {
+			fatal(err)
+		}
+	}
+	for _, p := range preds {
+		r := res.Relation(p)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "warning: unknown predicate %s\n", p)
+			continue
+		}
+		fmt.Println(r)
+	}
+	if *explain != "" {
+		pred, tuple, err := parseGroundAtom(*explain)
+		if err != nil {
+			fatal(err)
+		}
+		tree, err := res.Explain(pred, tuple, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(tree)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, "stats:", res.Stats)
+	}
+}
+
+// parseGroundAtom parses "pred(c1, c2)" into its predicate and tuple.
+func parseGroundAtom(src string) (string, idlog.Tuple, error) {
+	c, err := parser.Clause(strings.TrimSuffix(strings.TrimSpace(src), ".") + ".")
+	if err != nil {
+		return "", nil, err
+	}
+	if !c.IsFact() {
+		return "", nil, fmt.Errorf("%q is not a ground atom", src)
+	}
+	tuple := make(idlog.Tuple, len(c.Head.Args))
+	for i, t := range c.Head.Args {
+		cst, ok := t.(ast.Const)
+		if !ok {
+			return "", nil, fmt.Errorf("%q has a non-ground argument", src)
+		}
+		tuple[i] = cst.Val
+	}
+	return c.Head.Pred, tuple, nil
+}
+
+// loadFacts parses a fact file and adds each ground fact to db.
+func loadFacts(db *idlog.Database, path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := parser.Program(string(src))
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for _, c := range prog.Clauses {
+		if !c.IsFact() {
+			return fmt.Errorf("%s: %q is not a fact", path, c)
+		}
+		tuple := make(idlog.Tuple, len(c.Head.Args))
+		for i, t := range c.Head.Args {
+			cst, ok := t.(ast.Const)
+			if !ok {
+				return fmt.Errorf("%s: fact %q has a non-ground argument", path, c)
+			}
+			tuple[i] = cst.Val
+		}
+		if err := db.Add(c.Head.Pred, tuple); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// databaseClauses renders a database's tuples as ground fact clauses
+// for preloading an interactive session.
+func databaseClauses(db *idlog.Database) []*ast.Clause {
+	var out []*ast.Clause
+	for _, name := range db.Names() {
+		for _, t := range db.Relation(name).Sorted() {
+			head := &ast.Atom{Pred: name}
+			for _, v := range t {
+				head.Args = append(head.Args, ast.Const{Val: v})
+			}
+			out = append(out, &ast.Clause{Head: head})
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "idlog:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"idlog"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadFacts(t *testing.T) {
+	path := writeFile(t, "facts.idl", `
+		emp(joe, toys).
+		emp(sue, shoes).
+		level(joe, 3).
+	`)
+	db := idlog.NewDatabase()
+	if err := loadFacts(db, path); err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("emp").Len() != 2 {
+		t.Fatalf("emp = %v", db.Relation("emp"))
+	}
+	lvl := db.Relation("level")
+	if lvl.Len() != 1 || !lvl.Contains(idlog.Tuple{idlog.Str("joe"), idlog.Int(3)}) {
+		t.Fatalf("level = %v", lvl)
+	}
+}
+
+func TestLoadFactsRejectsRules(t *testing.T) {
+	path := writeFile(t, "facts.idl", "p(X) :- q(X).")
+	if err := loadFacts(idlog.NewDatabase(), path); err == nil {
+		t.Fatalf("rule in fact file not rejected")
+	}
+}
+
+func TestLoadFactsRejectsNonGround(t *testing.T) {
+	path := writeFile(t, "facts.idl", "p(X).")
+	if err := loadFacts(idlog.NewDatabase(), path); err == nil {
+		t.Fatalf("non-ground fact not rejected")
+	}
+}
+
+func TestLoadFactsMissingFile(t *testing.T) {
+	if err := loadFacts(idlog.NewDatabase(), "/nonexistent/facts.idl"); err == nil {
+		t.Fatalf("missing file not reported")
+	}
+}
+
+func TestStringListFlag(t *testing.T) {
+	var s stringList
+	_ = s.Set("a")
+	_ = s.Set("b")
+	if s.String() != "a,b" || len(s) != 2 {
+		t.Fatalf("stringList = %v", s)
+	}
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"idlog"
+	"idlog/internal/ast"
+	"idlog/internal/parser"
+)
+
+// repl is the interactive session state.
+type repl struct {
+	clauses []*ast.Clause
+	seed    uint64
+	random  bool
+	out     io.Writer
+}
+
+const replHelp = `commands:
+  fact or clause ending in '.'   add to the session program
+  ?- body.                       query: evaluate and print answers
+  :list                          print the session program
+  :load FILE                     load clauses/facts from a file
+  :seed N                        use the random oracle with seed N
+  :sorted                        back to the deterministic oracle
+  :clear                         drop all session clauses
+  :help                          this text
+  :quit                          leave`
+
+// runREPL reads commands from r until EOF or :quit. Preloaded clauses
+// (from -facts / -load) seed the session program.
+func runREPL(r io.Reader, w io.Writer, preload ...*ast.Clause) {
+	s := &repl{out: w, clauses: preload}
+	fmt.Fprintln(w, "idlog interactive — :help for commands")
+	if len(preload) > 0 {
+		fmt.Fprintf(w, "preloaded %d clauses\n", len(preload))
+	}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Fprint(w, "idlog> ")
+		} else {
+			fmt.Fprint(w, "  ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && trimmed == "" {
+			prompt()
+			continue
+		}
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ":") {
+			if s.command(trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ".") {
+			s.input(strings.TrimSpace(buf.String()))
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+// command handles a ':' directive; reports whether to quit.
+func (s *repl) command(line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":quit", ":q", ":exit":
+		fmt.Fprintln(s.out, "bye")
+		return true
+	case ":help", ":h":
+		fmt.Fprintln(s.out, replHelp)
+	case ":list":
+		for _, c := range s.clauses {
+			fmt.Fprintln(s.out, c)
+		}
+	case ":clear":
+		s.clauses = nil
+		fmt.Fprintln(s.out, "cleared")
+	case ":sorted":
+		s.random = false
+		fmt.Fprintln(s.out, "oracle: sorted (deterministic)")
+	case ":seed":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: :seed N")
+			break
+		}
+		n, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(s.out, "bad seed:", fields[1])
+			break
+		}
+		s.seed, s.random = n, true
+		fmt.Fprintf(s.out, "oracle: random, seed %d\n", n)
+	case ":load":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: :load FILE")
+			break
+		}
+		src, err := os.ReadFile(fields[1])
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			break
+		}
+		prog, err := parser.Program(string(src))
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			break
+		}
+		s.clauses = append(s.clauses, prog.Clauses...)
+		fmt.Fprintf(s.out, "loaded %d clauses\n", len(prog.Clauses))
+	default:
+		fmt.Fprintln(s.out, "unknown command; :help")
+	}
+	return false
+}
+
+// input handles a clause or a ?- query.
+func (s *repl) input(text string) {
+	if rest, ok := strings.CutPrefix(text, "?-"); ok {
+		s.query(strings.TrimSpace(rest))
+		return
+	}
+	c, err := parser.Clause(text)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	// Validate the program still analyzes before committing the clause.
+	candidate := append(append([]*ast.Clause{}, s.clauses...), c)
+	if _, err := idlog.FromAST(&ast.Program{Clauses: candidate}); err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	s.clauses = candidate
+	fmt.Fprintln(s.out, "ok")
+}
+
+// query evaluates "?- body." against the session program: a fresh
+// answer predicate collects the bindings of the body's variables.
+func (s *repl) query(body string) {
+	// Parse by wrapping in a throwaway clause head; then rebuild the
+	// head from the body's variables so answers carry the bindings.
+	wrapped, err := parser.Clause("query_wrapper_head :- " + body)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	ansPred := "ans"
+	for taken := true; taken; {
+		taken = false
+		for _, c := range s.clauses {
+			if c.Head.Pred == ansPred {
+				ansPred += "_"
+				taken = true
+			}
+		}
+	}
+	vars := ast.ClauseVars(&ast.Clause{Head: &ast.Atom{Pred: "x"}, Body: wrapped.Body})
+	head := &ast.Atom{Pred: ansPred}
+	for _, v := range vars {
+		head.Args = append(head.Args, v)
+	}
+	prog := &ast.Program{Clauses: append(append([]*ast.Clause{}, s.clauses...),
+		&ast.Clause{Head: head, Body: wrapped.Body})}
+	compiled, err := idlog.FromAST(prog)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	var opts []idlog.Option
+	if s.random {
+		opts = append(opts, idlog.WithSeed(s.seed))
+	}
+	res, err := compiled.Eval(idlog.NewDatabase(), opts...)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	ans := res.Relation(ansPred)
+	if len(vars) == 0 {
+		if ans.Len() > 0 {
+			fmt.Fprintln(s.out, "true")
+		} else {
+			fmt.Fprintln(s.out, "false")
+		}
+		return
+	}
+	if ans.Len() == 0 {
+		fmt.Fprintln(s.out, "no answers")
+		return
+	}
+	for _, t := range ans.Sorted() {
+		parts := make([]string, len(vars))
+		for i, v := range vars {
+			parts[i] = fmt.Sprintf("%s = %s", v.Name, t[i])
+		}
+		fmt.Fprintln(s.out, strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(s.out, "%d answer(s)\n", ans.Len())
+}

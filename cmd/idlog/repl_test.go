@@ -1,0 +1,141 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runSession(t *testing.T, input string) string {
+	t.Helper()
+	var out strings.Builder
+	runREPL(strings.NewReader(input), &out)
+	return out.String()
+}
+
+func TestREPLFactsAndQuery(t *testing.T) {
+	out := runSession(t, `
+emp(joe, toys).
+emp(sue, shoes).
+?- emp(X, toys).
+:quit
+`)
+	if !strings.Contains(out, "X = joe") || !strings.Contains(out, "1 answer(s)") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestREPLGroundQueryTrueFalse(t *testing.T) {
+	out := runSession(t, `
+emp(joe, toys).
+?- emp(joe, toys).
+?- emp(joe, shoes).
+:quit
+`)
+	if !strings.Contains(out, "true") || !strings.Contains(out, "false") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestREPLRulesAndIDLiterals(t *testing.T) {
+	out := runSession(t, `
+emp(joe, toys).
+emp(sue, toys).
+pick(N) :- emp[2](N, D, 0).
+?- pick(X).
+:quit
+`)
+	if !strings.Contains(out, "1 answer(s)") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestREPLRejectsBadClauseWithoutCorruptingSession(t *testing.T) {
+	out := runSession(t, `
+p(a).
+q(X, Y) :- p(X).
+?- p(X).
+:quit
+`)
+	// The unsafe clause must be rejected but p(a) still queryable.
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("unsafe clause accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "X = a") {
+		t.Fatalf("session corrupted:\n%s", out)
+	}
+}
+
+func TestREPLListAndClear(t *testing.T) {
+	out := runSession(t, `
+p(a).
+:list
+:clear
+?- p(X).
+:quit
+`)
+	if !strings.Contains(out, "p(a).") {
+		t.Fatalf(":list missing clause:\n%s", out)
+	}
+	if !strings.Contains(out, "no answers") {
+		t.Fatalf(":clear did not drop clauses:\n%s", out)
+	}
+}
+
+func TestREPLSeedCommand(t *testing.T) {
+	out := runSession(t, `
+:seed 42
+:sorted
+:seed zzz
+:quit
+`)
+	if !strings.Contains(out, "seed 42") || !strings.Contains(out, "sorted") || !strings.Contains(out, "bad seed") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestREPLMultilineClause(t *testing.T) {
+	out := runSession(t, `
+tc(X, Y) :-
+  e(X, Y).
+e(a, b).
+?- tc(X, Y).
+:quit
+`)
+	if !strings.Contains(out, "X = a, Y = b") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestREPLLoadFile(t *testing.T) {
+	path := writeFile(t, "prog.idl", "p(a).\np(b).\n")
+	out := runSession(t, ":load "+path+"\n?- p(X).\n:quit\n")
+	if !strings.Contains(out, "loaded 2 clauses") || !strings.Contains(out, "2 answer(s)") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestREPLHelpAndUnknown(t *testing.T) {
+	out := runSession(t, ":help\n:bogus\n:quit\n")
+	if !strings.Contains(out, "commands:") || !strings.Contains(out, "unknown command") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestREPLAnsPredicateCollision(t *testing.T) {
+	out := runSession(t, `
+ans(a).
+?- ans(X).
+:quit
+`)
+	if !strings.Contains(out, "X = a") {
+		t.Fatalf("ans collision broke queries:\n%s", out)
+	}
+}
+
+func TestREPLEOFWithoutQuit(t *testing.T) {
+	// EOF must terminate cleanly.
+	out := runSession(t, "p(a).\n")
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,52 @@
+// Command idlogbench regenerates the experiment tables of
+// EXPERIMENTS.md: one table per claim of the paper (E1–E8).
+//
+// Usage:
+//
+//	idlogbench [-suite quick|full] [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"idlog/internal/bench"
+)
+
+func main() {
+	suiteName := flag.String("suite", "quick", "experiment sizing: quick or full")
+	only := flag.String("only", "all", "run a single experiment (E1..E10) or all")
+	markdown := flag.Bool("md", false, "emit GitHub-flavoured markdown tables")
+	flag.Parse()
+
+	var suite bench.Suite
+	switch *suiteName {
+	case "quick":
+		suite = bench.Quick()
+	case "full":
+		suite = bench.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want quick or full)\n", *suiteName)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	tables := bench.Run(suite, *only)
+	if len(tables) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *only)
+		os.Exit(2)
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *markdown {
+			fmt.Print(t.RenderMarkdown())
+		} else {
+			fmt.Print(t.Render())
+		}
+	}
+	fmt.Printf("\ntotal: %d experiments in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
+}

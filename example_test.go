@@ -1,0 +1,159 @@
+package idlog_test
+
+import (
+	"fmt"
+	"log"
+
+	"idlog"
+)
+
+// The paper's flagship sampling query: an arbitrary set of employees
+// containing exactly two per department, reproducible from a seed.
+func Example() {
+	prog, err := idlog.Parse(`
+		select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := idlog.NewDatabase()
+	err = idlog.AddFactsText(db, `
+		emp(joe, toys). emp(sue, toys). emp(ann, toys).
+		emp(bob, shoes). emp(eve, shoes).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Eval(db, idlog.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Relation("select_two_emp").Len(), "employees selected")
+	// Output: 4 employees selected
+}
+
+// Recursive rules with stratified negation evaluate to the perfect
+// model.
+func ExampleProgram_Eval() {
+	prog, err := idlog.Parse(`
+		reach(X) :- start(X).
+		reach(Y) :- reach(X), link(X, Y).
+		dead(X) :- node(X), not reach(X).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := idlog.NewDatabase()
+	_ = idlog.AddFactsText(db, "link(a, b). link(b, c). link(x, y). start(a). node(a). node(c). node(x).")
+	res, err := prog.Eval(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Relation("reach"))
+	fmt.Println(res.Relation("dead"))
+	// Output:
+	// reach{(a), (b), (c)}
+	// dead{(x)}
+}
+
+// Enumerate walks every ID-function assignment: the man/woman program
+// of the paper's Example 2 has the powerset of persons as its answers.
+func ExampleProgram_Enumerate() {
+	prog, err := idlog.Parse(`
+		sex_guess(X, male) :- person(X).
+		sex_guess(X, female) :- person(X).
+		man(X) :- sex_guess[1](X, male, 1).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := idlog.NewDatabase()
+	_ = idlog.AddFactsText(db, "person(ada). person(bob).")
+	answers, err := prog.Enumerate(db, []string{"man"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(answers), "possible answers")
+	// Output: 4 possible answers
+}
+
+// Query evaluates a one-off goal against the program.
+func ExampleProgram_Query() {
+	prog, err := idlog.Parse(`
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := idlog.NewDatabase()
+	_ = idlog.AddFactsText(db, "e(a, b). e(b, c).")
+	qr, err := prog.Query(db, "tc(a, Y)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range qr.Rows {
+		fmt.Println(qr.Vars[0], "=", row[0])
+	}
+	// Output:
+	// Y = b
+	// Y = c
+}
+
+// Optimize applies the §4 rewriting: existential arguments become
+// tid-0 ID-literals.
+func ExampleProgram_Optimize() {
+	prog, err := idlog.Parse(`all_depts(D) :- emp(N, D).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := prog.Optimize("all_depts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(opt)
+	// Output: all_depts(D) :- emp[2](N, D, 0).
+}
+
+// DATALOG^C choice programs are translated to IDLOG transparently
+// (Theorem 2 of the paper).
+func ExampleParse_choice() {
+	prog, err := idlog.Parse(`
+		select_emp(Name) :- emp(Name, Dept), choice((Dept), (Name)).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(prog)
+	// Output:
+	// select_emp(Name) :- emp(Name, Dept), ext_choice_0_sel(Dept, Name).
+	// ext_choice_0(Dept, Name) :- emp(Name, Dept).
+	// ext_choice_0_sel(Dept, Name) :- ext_choice_0[1](Dept, Name, 0).
+}
+
+// Tracing records first derivations so results can be explained.
+func ExampleResult_Explain() {
+	prog, err := idlog.Parse(`
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := idlog.NewDatabase()
+	_ = idlog.AddFactsText(db, "e(a, b). e(b, c).")
+	res, err := prog.Eval(db, idlog.WithTrace())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := res.Explain("tc", idlog.Strs("a", "c"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tree)
+	// Output:
+	// tc(a, c)  <=  tc(X, Y) :- e(X, Z), tc(Z, Y).
+	//   e(a, b)  [input]
+	//   tc(b, c)  <=  tc(X, Y) :- e(X, Y).
+	//     e(b, c)  [input]
+}

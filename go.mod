@@ -1,0 +1,3 @@
+module idlog
+
+go 1.22

@@ -1,0 +1,299 @@
+// Package idlog is a deductive database engine for IDLOG — the
+// non-deterministic deductive database language of Yeh-Heng Sheng
+// (SIGMOD 1991) that extends DATALOG with negation by tuple-identifiers.
+//
+// An IDLOG program may reference, besides an ordinary predicate p, its
+// ID-versions p[s]: relations in which every tuple carries a
+// tuple-identifier (tid) unique within its sub-relation grouped by the
+// attribute set s. Which tuple gets which tid is chosen by an Oracle,
+// and that choice is the language's single source of non-determinism:
+// a query denotes the set of answers obtainable over all choices.
+//
+// The flagship application is sampling queries (§3.3 of the paper):
+//
+//	prog, _ := idlog.Parse(`
+//	    select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2.
+//	`)
+//	res, _ := prog.Eval(db, idlog.WithSeed(42))
+//	// res.Relation("select_two_emp") holds two employees per department.
+//
+// The engine also evaluates DATALOG^C (DATALOG with the choice operator
+// of Krishnamurthy & Naqvi) by translating choice literals to IDLOG
+// (Theorem 2), optimizes DATALOG programs by rewriting existential
+// arguments into ID-literals (§4), and can enumerate the full answer set
+// of a non-deterministic query on small inputs.
+package idlog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"idlog/internal/adorn"
+	"idlog/internal/analysis"
+	"idlog/internal/ast"
+	"idlog/internal/choice"
+	"idlog/internal/core"
+	"idlog/internal/parser"
+	"idlog/internal/relation"
+	"idlog/internal/sampling"
+	"idlog/internal/storage"
+	"idlog/internal/value"
+)
+
+// Re-exported foundation types. These aliases make the public API
+// self-contained without duplicating the implementations.
+type (
+	// Database holds the input (EDB) relations.
+	Database = core.Database
+	// Result is one computed perfect model with its statistics.
+	Result = core.Result
+	// Stats carries evaluation counters (derivations, scans, ...).
+	Stats = core.Stats
+	// Answer is one member of a non-deterministic query's answer set.
+	Answer = core.Answer
+	// Relation is a set of tuples.
+	Relation = relation.Relation
+	// Oracle chooses ID-functions; see SortedOracle and RandomOracle.
+	Oracle = relation.Oracle
+	// Value is a two-sorted constant.
+	Value = value.Value
+	// Tuple is a sequence of values.
+	Tuple = value.Tuple
+)
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return core.NewDatabase() }
+
+// Str returns the uninterpreted (sort-u) constant named s.
+func Str(s string) Value { return value.Str(s) }
+
+// Int returns the interpreted (sort-i) constant n.
+func Int(n int64) Value { return value.Int(n) }
+
+// Strs builds a tuple of u-constants.
+func Strs(names ...string) Tuple { return value.Strs(names...) }
+
+// Ints builds a tuple of i-constants.
+func Ints(ns ...int64) Tuple { return value.Ints(ns...) }
+
+// SortedOracle returns the deterministic canonical oracle: tids follow
+// the sorted tuple order, so evaluation is reproducible and
+// deterministic.
+func SortedOracle() Oracle { return relation.SortedOracle{} }
+
+// RandomOracle returns the seeded pseudo-random oracle behind sampling
+// queries; equal seeds give equal runs.
+func RandomOracle(seed uint64) Oracle { return relation.RandomOracle{Seed: seed} }
+
+// Program is a parsed and checked program, ready for evaluation.
+type Program struct {
+	src  *ast.Program // as written (may contain choice literals)
+	pure *ast.Program // choice-free form actually evaluated
+	info *analysis.Info
+}
+
+// Parse parses, validates and plans an IDLOG or DATALOG^C program.
+// Programs containing choice literals are translated to pure IDLOG via
+// the Theorem-2 construction before analysis.
+func Parse(src string) (*Program, error) {
+	prog, err := parseText(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromAST(prog)
+}
+
+// FromAST wraps an already-built AST program (used by generators).
+func FromAST(prog *ast.Program) (*Program, error) {
+	p := &Program{src: prog, pure: prog}
+	if prog.HasChoice() {
+		translated, err := choice.Translate(prog)
+		if err != nil {
+			return nil, err
+		}
+		p.pure = translated
+	}
+	info, err := analysis.Analyze(p.pure)
+	if err != nil {
+		return nil, err
+	}
+	p.info = info
+	return p, nil
+}
+
+// String renders the program as evaluated (after any choice
+// translation).
+func (p *Program) String() string { return p.pure.String() }
+
+// Source renders the program as written.
+func (p *Program) Source() string { return p.src.String() }
+
+// AST returns the (choice-free) AST; callers must not mutate it.
+func (p *Program) AST() *ast.Program { return p.pure }
+
+// Strata reports the number of evaluation strata.
+func (p *Program) Strata() int { return len(p.info.Strata) }
+
+// InputPredicates returns the program's input (EDB) predicate names,
+// sorted.
+func (p *Program) InputPredicates() []string {
+	var out []string
+	for name := range p.info.EDB {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OutputPredicates returns the predicates defined by the program,
+// sorted.
+func (p *Program) OutputPredicates() []string {
+	var out []string
+	for name := range p.info.IDB {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval computes one perfect model of the program over db. With no
+// options the run is deterministic (SortedOracle); use WithSeed or
+// WithOracle for non-deterministic runs.
+func (p *Program) Eval(db *Database, opts ...Option) (*Result, error) {
+	cfg := buildConfig(opts)
+	return core.Eval(p.info, db, cfg.eval)
+}
+
+// Enumerate computes the full answer set of the query given by the
+// output predicates preds: one Answer per distinct combination of their
+// relations across all ID-function choices. Exponential; use on small
+// inputs (the WithMaxRuns option bounds the walk).
+func (p *Program) Enumerate(db *Database, preds []string, opts ...Option) ([]*Answer, error) {
+	cfg := buildConfig(opts)
+	return core.Enumerate(p.info, db, preds, core.EnumerateOptions{
+		MaxRuns: cfg.maxRuns,
+		Eval:    cfg.eval,
+	})
+}
+
+// Optimize applies the §4 optimization strategy w.r.t. the output
+// predicate q: the RBK88 adornment algorithm identifies ∀-existential
+// arguments, projections are pushed through derived predicates, and
+// input-predicate literals with existential positions are replaced by
+// tid-0 ID-literals (∃-existential rewriting). The result is a new,
+// q-equivalent program.
+func (p *Program) Optimize(q string) (*Program, error) {
+	opt, err := adorn.Optimize(p.pure, q)
+	if err != nil {
+		return nil, err
+	}
+	return FromAST(opt)
+}
+
+// SampleSpec describes a sampling query: choose K tuples from every
+// group of Relation (grouped by the 1-based columns GroupBy; empty
+// means one global group).
+type SampleSpec struct {
+	Relation string
+	Arity    int
+	GroupBy  []int
+	K        int
+}
+
+// Sample runs the paper's sampling query "select K tuples from every
+// group" (§3.3) against db under the given seed and returns the sample.
+func Sample(spec SampleSpec, db *Database, seed uint64) (*Relation, error) {
+	cols := make([]int, len(spec.GroupBy))
+	for i, c := range spec.GroupBy {
+		cols[i] = c - 1
+	}
+	s := sampling.Spec{Relation: spec.Relation, Arity: spec.Arity, GroupCols: cols, K: spec.K}
+	rel, _, err := sampling.Sample(s, db, seed)
+	return rel, err
+}
+
+// SampleProgram returns the IDLOG program implementing the sampling
+// query, for inspection.
+func SampleProgram(spec SampleSpec) (*Program, error) {
+	cols := make([]int, len(spec.GroupBy))
+	for i, c := range spec.GroupBy {
+		cols[i] = c - 1
+	}
+	prog, err := sampling.Program(sampling.Spec{
+		Relation: spec.Relation, Arity: spec.Arity, GroupCols: cols, K: spec.K,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FromAST(prog)
+}
+
+func parseText(src string) (*ast.Program, error) {
+	prog, err := parser.Program(src)
+	if err != nil {
+		return nil, fmt.Errorf("idlog: %w", err)
+	}
+	return prog, nil
+}
+
+// SaveSnapshot writes db to path in the binary snapshot format
+// (atomically, via a temp file).
+func SaveSnapshot(path string, db *Database) error { return storage.SaveFile(path, db) }
+
+// LoadSnapshot reads a database snapshot from path.
+func LoadSnapshot(path string) (*Database, error) { return storage.LoadFile(path) }
+
+// WriteSnapshot serializes db to w in the binary snapshot format.
+func WriteSnapshot(w io.Writer, db *Database) error { return storage.Write(w, db) }
+
+// ReadSnapshot deserializes a database from r.
+func ReadSnapshot(r io.Reader) (*Database, error) { return storage.Read(r) }
+
+// CheckDeterministic evaluates the program under several different
+// ID-function oracles (the given seeds plus the canonical sorted
+// oracle) and reports whether the named output predicates received the
+// identical relations every time. A true result certifies — for this
+// input — that the query is deterministic even though the program uses
+// non-deterministic constructs, the situation of the paper's
+// optimization rewrites (§4) and of counting via tuple-identifiers.
+func (p *Program) CheckDeterministic(db *Database, preds []string, seeds ...uint64) (bool, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{1, 2, 3, 4, 5, 6, 7}
+	}
+	var ref []string
+	fingerprint := func(res *Result) ([]string, error) {
+		out := make([]string, 0, len(preds))
+		for _, q := range preds {
+			r := res.Relation(q)
+			if r == nil {
+				return nil, fmt.Errorf("idlog: unknown predicate %s", q)
+			}
+			out = append(out, r.Fingerprint())
+		}
+		return out, nil
+	}
+	res, err := p.Eval(db)
+	if err != nil {
+		return false, err
+	}
+	if ref, err = fingerprint(res); err != nil {
+		return false, err
+	}
+	for _, seed := range seeds {
+		res, err := p.Eval(db, WithSeed(seed))
+		if err != nil {
+			return false, err
+		}
+		fp, err := fingerprint(res)
+		if err != nil {
+			return false, err
+		}
+		for i := range fp {
+			if fp[i] != ref[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,383 @@
+// Package arith implements IDLOG's interpreted predicates over the
+// natural numbers (§2.2 of the paper): succ, the arithmetic relations
+// add/sub/mul/div/mod, the comparisons, and sort-polymorphic equality.
+//
+// Each predicate declares its admissible binding patterns — strings of
+// 'b' (bound) and 'n' (not bound) — following the paper's sufficient
+// safety condition. For add (the paper's "+", read add(A,B,C) as A+B=C)
+// the allowed patterns are bbb, bbn, bnb, nbb and nnb: the equation
+// A+B=C has finitely many solutions whenever C is bound, even with both
+// A and B free. The analyzer consults these tables when ordering clause
+// bodies; the evaluator calls Solve to enumerate solutions at run time.
+package arith
+
+import (
+	"fmt"
+	"sort"
+
+	"idlog/internal/value"
+)
+
+// Builtin describes one interpreted predicate.
+type Builtin struct {
+	// Name is the predicate name as written in programs.
+	Name string
+	// Arity is the number of arguments.
+	Arity int
+	// Patterns is the set of admissible binding patterns, each of length
+	// Arity over the alphabet {b, n}.
+	Patterns map[string]bool
+	// Polymorphic marks predicates (eq, neq) that accept either sort;
+	// all other built-ins require every bound argument to be of sort i.
+	Polymorphic bool
+	// solve enumerates the full-arity solutions consistent with the bound
+	// arguments. bound[i] reports whether args[i] is meaningful.
+	solve func(args []value.Value, bound []bool) ([][]value.Value, error)
+}
+
+// Lookup returns the builtin for name.
+func Lookup(name string) (*Builtin, bool) {
+	b, ok := registry[name]
+	return b, ok
+}
+
+// IsBuiltin reports whether name denotes an interpreted predicate.
+func IsBuiltin(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
+// Names returns all builtin names, sorted; useful for documentation and
+// tests.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pattern builds the binding-pattern string for the given mask.
+func Pattern(bound []bool) string {
+	buf := make([]byte, len(bound))
+	for i, b := range bound {
+		if b {
+			buf[i] = 'b'
+		} else {
+			buf[i] = 'n'
+		}
+	}
+	return string(buf)
+}
+
+// Allowed reports whether the builtin admits the binding pattern.
+func (b *Builtin) Allowed(pattern string) bool { return b.Patterns[pattern] }
+
+// Solve enumerates solutions. It validates the binding pattern and the
+// sorts of bound arguments, then delegates to the predicate's solver.
+// The returned tuples have the builtin's full arity with every position
+// filled.
+func (b *Builtin) Solve(args []value.Value, bound []bool) ([][]value.Value, error) {
+	if len(args) != b.Arity || len(bound) != b.Arity {
+		return nil, fmt.Errorf("%s/%d: called with %d args", b.Name, b.Arity, len(args))
+	}
+	pat := Pattern(bound)
+	if !b.Patterns[pat] {
+		return nil, fmt.Errorf("%s: binding pattern %s is unsafe (allowed: %s)", b.Name, pat, b.patternList())
+	}
+	if !b.Polymorphic {
+		for i, bd := range bound {
+			if bd && !args[i].IsInt() {
+				// A u-constant can never satisfy an arithmetic relation;
+				// this is a failed match, not an error.
+				return nil, nil
+			}
+		}
+	}
+	return b.solve(args, bound)
+}
+
+func (b *Builtin) patternList() string {
+	pats := make([]string, 0, len(b.Patterns))
+	for p := range b.Patterns {
+		pats = append(pats, p)
+	}
+	sort.Strings(pats)
+	s := ""
+	for i, p := range pats {
+		if i > 0 {
+			s += ","
+		}
+		s += p
+	}
+	return s
+}
+
+func pats(ps ...string) map[string]bool {
+	m := make(map[string]bool, len(ps))
+	for _, p := range ps {
+		m[p] = true
+	}
+	return m
+}
+
+func one(vals ...value.Value) [][]value.Value {
+	return [][]value.Value{vals}
+}
+
+var registry = map[string]*Builtin{}
+
+func register(b *Builtin) { registry[b.Name] = b }
+
+func init() {
+	register(&Builtin{
+		Name: "succ", Arity: 2,
+		Patterns: pats("bb", "bn", "nb"),
+		solve:    solveSucc,
+	})
+	register(&Builtin{
+		Name: "add", Arity: 3,
+		Patterns: pats("bbb", "bbn", "bnb", "nbb", "nnb"),
+		solve:    solveAdd,
+	})
+	register(&Builtin{
+		Name: "sub", Arity: 3,
+		Patterns: pats("bbb", "bbn", "bnb", "nbb"),
+		solve:    solveSub,
+	})
+	register(&Builtin{
+		Name: "mul", Arity: 3,
+		Patterns: pats("bbb", "bbn", "bnb", "nbb", "nnb"),
+		solve:    solveMul,
+	})
+	register(&Builtin{
+		Name: "div", Arity: 3,
+		Patterns: pats("bbb", "bbn", "nbb"),
+		solve:    solveDiv,
+	})
+	register(&Builtin{
+		Name: "mod", Arity: 3,
+		Patterns: pats("bbb", "bbn"),
+		solve:    solveMod,
+	})
+	for _, cmp := range []struct {
+		name string
+		ok   func(int) bool
+	}{
+		{"lt", func(c int) bool { return c < 0 }},
+		{"le", func(c int) bool { return c <= 0 }},
+		{"gt", func(c int) bool { return c > 0 }},
+		{"ge", func(c int) bool { return c >= 0 }},
+	} {
+		ok := cmp.ok
+		register(&Builtin{
+			Name: cmp.name, Arity: 2,
+			Patterns: pats("bb"),
+			solve: func(args []value.Value, bound []bool) ([][]value.Value, error) {
+				if !args[0].IsInt() || !args[1].IsInt() {
+					return nil, nil
+				}
+				if ok(args[0].Compare(args[1])) {
+					return one(args[0], args[1]), nil
+				}
+				return nil, nil
+			},
+		})
+	}
+	register(&Builtin{
+		Name: "eq", Arity: 2,
+		Patterns:    pats("bb", "bn", "nb"),
+		Polymorphic: true,
+		solve:       solveEq,
+	})
+	register(&Builtin{
+		Name: "neq", Arity: 2,
+		Patterns:    pats("bb"),
+		Polymorphic: true,
+		solve: func(args []value.Value, bound []bool) ([][]value.Value, error) {
+			if !args[0].Equal(args[1]) {
+				return one(args[0], args[1]), nil
+			}
+			return nil, nil
+		},
+	})
+}
+
+func solveSucc(args []value.Value, bound []bool) ([][]value.Value, error) {
+	switch {
+	case bound[0] && bound[1]:
+		if args[0].Num+1 == args[1].Num {
+			return one(args[0], args[1]), nil
+		}
+	case bound[0]:
+		return one(args[0], value.Int(args[0].Num+1)), nil
+	case bound[1]:
+		if args[1].Num >= 1 {
+			return one(value.Int(args[1].Num-1), args[1]), nil
+		}
+	}
+	return nil, nil
+}
+
+func solveAdd(args []value.Value, bound []bool) ([][]value.Value, error) {
+	a, b, c := args[0], args[1], args[2]
+	switch Pattern(bound) {
+	case "bbb":
+		if a.Num+b.Num == c.Num {
+			return one(a, b, c), nil
+		}
+	case "bbn":
+		return one(a, b, value.Int(a.Num+b.Num)), nil
+	case "bnb":
+		if d := c.Num - a.Num; d >= 0 {
+			return one(a, value.Int(d), c), nil
+		}
+	case "nbb":
+		if d := c.Num - b.Num; d >= 0 {
+			return one(value.Int(d), b, c), nil
+		}
+	case "nnb":
+		// A + B = C with C bound: the paper's motivating finite case
+		// (equation L + M = 1 has two solutions).
+		if c.Num < 0 {
+			return nil, nil
+		}
+		sols := make([][]value.Value, 0, c.Num+1)
+		for x := int64(0); x <= c.Num; x++ {
+			sols = append(sols, []value.Value{value.Int(x), value.Int(c.Num - x), c})
+		}
+		return sols, nil
+	}
+	return nil, nil
+}
+
+func solveSub(args []value.Value, bound []bool) ([][]value.Value, error) {
+	// sub(A,B,C) holds iff A - B = C over the naturals (A >= B).
+	a, b, c := args[0], args[1], args[2]
+	switch Pattern(bound) {
+	case "bbb":
+		if a.Num-b.Num == c.Num && c.Num >= 0 {
+			return one(a, b, c), nil
+		}
+	case "bbn":
+		if d := a.Num - b.Num; d >= 0 {
+			return one(a, b, value.Int(d)), nil
+		}
+	case "bnb":
+		if d := a.Num - c.Num; d >= 0 {
+			return one(a, value.Int(d), c), nil
+		}
+	case "nbb":
+		return one(value.Int(b.Num+c.Num), b, c), nil
+	}
+	return nil, nil
+}
+
+func solveMul(args []value.Value, bound []bool) ([][]value.Value, error) {
+	a, b, c := args[0], args[1], args[2]
+	switch Pattern(bound) {
+	case "bbb":
+		if a.Num*b.Num == c.Num {
+			return one(a, b, c), nil
+		}
+	case "bbn":
+		return one(a, b, value.Int(a.Num*b.Num)), nil
+	case "bnb":
+		if a.Num == 0 {
+			if c.Num == 0 {
+				return nil, fmt.Errorf("mul: 0 * B = 0 has unboundedly many solutions")
+			}
+			return nil, nil
+		}
+		if c.Num%a.Num == 0 && c.Num/a.Num >= 0 {
+			return one(a, value.Int(c.Num/a.Num), c), nil
+		}
+	case "nbb":
+		if b.Num == 0 {
+			if c.Num == 0 {
+				return nil, fmt.Errorf("mul: A * 0 = 0 has unboundedly many solutions")
+			}
+			return nil, nil
+		}
+		if c.Num%b.Num == 0 && c.Num/b.Num >= 0 {
+			return one(value.Int(c.Num/b.Num), b, c), nil
+		}
+	case "nnb":
+		if c.Num == 0 {
+			return nil, fmt.Errorf("mul: A * B = 0 has unboundedly many solutions")
+		}
+		if c.Num < 0 {
+			return nil, nil
+		}
+		var sols [][]value.Value
+		for x := int64(1); x*x <= c.Num; x++ {
+			if c.Num%x != 0 {
+				continue
+			}
+			y := c.Num / x
+			sols = append(sols, []value.Value{value.Int(x), value.Int(y), c})
+			if x != y {
+				sols = append(sols, []value.Value{value.Int(y), value.Int(x), c})
+			}
+		}
+		return sols, nil
+	}
+	return nil, nil
+}
+
+func solveDiv(args []value.Value, bound []bool) ([][]value.Value, error) {
+	// div(A,B,C) holds iff B > 0 and A div B = C (floor division).
+	a, b, c := args[0], args[1], args[2]
+	switch Pattern(bound) {
+	case "bbb":
+		if b.Num > 0 && a.Num >= 0 && a.Num/b.Num == c.Num {
+			return one(a, b, c), nil
+		}
+	case "bbn":
+		if b.Num > 0 && a.Num >= 0 {
+			return one(a, b, value.Int(a.Num/b.Num)), nil
+		}
+	case "nbb":
+		// A ranges over the finite interval [B*C, B*C+B-1].
+		if b.Num <= 0 || c.Num < 0 {
+			return nil, nil
+		}
+		sols := make([][]value.Value, 0, b.Num)
+		for x := b.Num * c.Num; x < b.Num*(c.Num+1); x++ {
+			sols = append(sols, []value.Value{value.Int(x), b, c})
+		}
+		return sols, nil
+	}
+	return nil, nil
+}
+
+func solveMod(args []value.Value, bound []bool) ([][]value.Value, error) {
+	// mod(A,B,C) holds iff B > 0 and A mod B = C.
+	a, b, c := args[0], args[1], args[2]
+	switch Pattern(bound) {
+	case "bbb":
+		if b.Num > 0 && a.Num >= 0 && a.Num%b.Num == c.Num {
+			return one(a, b, c), nil
+		}
+	case "bbn":
+		if b.Num > 0 && a.Num >= 0 {
+			return one(a, b, value.Int(a.Num%b.Num)), nil
+		}
+	}
+	return nil, nil
+}
+
+func solveEq(args []value.Value, bound []bool) ([][]value.Value, error) {
+	switch Pattern(bound) {
+	case "bb":
+		if args[0].Equal(args[1]) {
+			return one(args[0], args[1]), nil
+		}
+	case "bn":
+		return one(args[0], args[0]), nil
+	case "nb":
+		return one(args[1], args[1]), nil
+	}
+	return nil, nil
+}

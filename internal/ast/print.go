@@ -1,0 +1,98 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// infixNames maps built-in predicate names back to their infix comparison
+// rendering; the parser accepts both forms, the printer emits the sugar.
+var infixNames = map[string]string{
+	"lt":  "<",
+	"le":  "<=",
+	"gt":  ">",
+	"ge":  ">=",
+	"eq":  "=",
+	"neq": "!=",
+}
+
+// String renders the atom in concrete syntax: p(a, X), p[1,2](a, X, T),
+// or the infix comparison form for binary comparison built-ins.
+func (a *Atom) String() string {
+	if op, ok := infixNames[a.Pred]; ok && !a.IsID && len(a.Args) == 2 {
+		return fmt.Sprintf("%s %s %s", a.Args[0], op, a.Args[1])
+	}
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	if a.IsID {
+		b.WriteByte('[')
+		for i, g := range a.Group {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", g+1) // groups print 1-based as in the paper
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the choice literal as choice((X...),(Y...)).
+func (c *Choice) String() string {
+	return fmt.Sprintf("choice((%s), (%s))", termList(c.Domain), termList(c.Range))
+}
+
+func termList(ts []Term) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders the literal, prefixing "not " when negated.
+func (l *Literal) String() string {
+	var body string
+	switch {
+	case l.Choice != nil:
+		body = l.Choice.String()
+	case l.Atom != nil:
+		body = l.Atom.String()
+	default:
+		body = "<invalid literal>"
+	}
+	if l.Neg {
+		return "not " + body
+	}
+	return body
+}
+
+// String renders the clause, with a trailing period.
+func (c *Clause) String() string {
+	if c.IsFact() {
+		return c.Head.String() + "."
+	}
+	parts := make([]string, len(c.Body))
+	for i, l := range c.Body {
+		parts[i] = l.String()
+	}
+	return fmt.Sprintf("%s :- %s.", c.Head, strings.Join(parts, ", "))
+}
+
+// String renders the whole program, one clause per line.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, c := range p.Clauses {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

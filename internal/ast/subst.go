@@ -1,0 +1,100 @@
+package ast
+
+import "fmt"
+
+// Subst maps variable names to replacement terms. Program transformations
+// (choice translation, adornment rewriting, clause instantiation) apply
+// substitutions over atoms and clauses.
+type Subst map[string]Term
+
+// ApplyTerm returns t with s applied (one level; substitutions into
+// constants are identities, variables map through or stay put).
+func (s Subst) ApplyTerm(t Term) Term {
+	if v, ok := t.(Var); ok {
+		if r, ok := s[v.Name]; ok {
+			return r
+		}
+	}
+	return t
+}
+
+// ApplyAtom returns a copy of a with s applied to every argument.
+func (s Subst) ApplyAtom(a *Atom) *Atom {
+	c := a.Clone()
+	for i, t := range c.Args {
+		c.Args[i] = s.ApplyTerm(t)
+	}
+	return c
+}
+
+// ApplyLiteral returns a copy of l with s applied.
+func (s Subst) ApplyLiteral(l *Literal) *Literal {
+	c := l.Clone()
+	if c.Atom != nil {
+		for i, t := range c.Atom.Args {
+			c.Atom.Args[i] = s.ApplyTerm(t)
+		}
+	}
+	if c.Choice != nil {
+		for i, t := range c.Choice.Domain {
+			c.Choice.Domain[i] = s.ApplyTerm(t)
+		}
+		for i, t := range c.Choice.Range {
+			c.Choice.Range[i] = s.ApplyTerm(t)
+		}
+	}
+	return c
+}
+
+// ApplyClause returns a copy of c with s applied throughout.
+func (s Subst) ApplyClause(c *Clause) *Clause {
+	n := &Clause{Head: s.ApplyAtom(c.Head)}
+	for _, l := range c.Body {
+		n.Body = append(n.Body, s.ApplyLiteral(l))
+	}
+	return n
+}
+
+// RenameApart returns a copy of the clause with every named variable
+// replaced by a fresh variable "name@suffix"; used when transformations
+// splice clauses together and must avoid capture.
+func RenameApart(c *Clause, suffix string) *Clause {
+	s := Subst{}
+	for _, v := range ClauseVars(c) {
+		s[v.Name] = Var{Name: fmt.Sprintf("%s@%s", v.Name, suffix)}
+	}
+	return s.ApplyClause(c)
+}
+
+// FreshAnonCounter rewrites anonymous variables "_" into distinct fresh
+// variables "_Gn" so downstream analyses can treat every variable
+// occurrence uniformly. It returns the rewritten clause.
+func FreshAnonCounter(c *Clause, counter *int) *Clause {
+	fresh := func(t Term) Term {
+		if v, ok := t.(Var); ok && v.Anonymous() {
+			*counter++
+			return Var{Name: fmt.Sprintf("_G%d", *counter)}
+		}
+		return t
+	}
+	n := c.Clone()
+	for i, t := range n.Head.Args {
+		n.Head.Args[i] = fresh(t)
+	}
+	for _, l := range n.Body {
+		if l.Atom != nil {
+			for i, t := range l.Atom.Args {
+				l.Atom.Args[i] = fresh(t)
+			}
+		}
+		if l.Choice != nil {
+			for i, t := range l.Choice.Domain {
+				l.Choice.Domain[i] = fresh(t)
+			}
+			for i, t := range l.Choice.Range {
+				l.Choice.Range[i] = fresh(t)
+			}
+		}
+	}
+	return n
+}

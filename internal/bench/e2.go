@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+
+	"idlog/internal/adorn"
+	"idlog/internal/choice"
+	"idlog/internal/core"
+	"idlog/internal/relation"
+)
+
+// E2 measures the §1 motivating optimization: all_depts over emp,
+// evaluated as plain DATALOG, as DATALOG^C with a choice operator, and
+// as the IDLOG ∃-existential rewrite (emp[2](N, D, 0)).
+func E2(sizes [][2]int) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "all_depts(D) :- emp(N, D): plain vs choice vs ID-literal",
+		Claim:   "(§1, §4) the explicit ∃-existential construct touches one tuple per department; plain DATALOG touches every employee",
+		Columns: []string{"depts", "emp/dept", "variant", "time ms", "derivations", "scanned"},
+	}
+	plain := mustParse(`all_depts(D) :- emp(N, D).`)
+	plainInfo := mustAnalyze(plain)
+	choiceProg := mustParse(`all_depts(D) :- emp(N, D), choice((D), (N)).`)
+	optimized, err := adorn.Optimize(plain, "all_depts")
+	if err != nil {
+		panic(err)
+	}
+	optInfo := mustAnalyze(optimized)
+
+	for _, sz := range sizes {
+		depts, per := sz[0], sz[1]
+		db := EmpDB(depts, per)
+		var base *core.Result
+
+		dur, _ := timed(func() error {
+			base = evalOnce(plainInfo, db, core.Options{})
+			return nil
+		})
+		t.Rows = append(t.Rows, []string{fmt.Sprint(depts), fmt.Sprint(per), "plain DATALOG",
+			ms(dur), fmt.Sprint(base.Stats.Derivations), fmt.Sprint(base.Stats.TuplesScanned)})
+
+		var chRes *core.Result
+		dur, err := timed(func() error {
+			var err error
+			chRes, err = choice.Eval(choiceProg, db, choice.Options{Oracle: relation.SortedOracle{}})
+			return err
+		})
+		if err != nil {
+			panic(err)
+		}
+		if !chRes.Relation("all_depts").Equal(base.Relation("all_depts")) {
+			panic("E2: choice variant computed a different answer")
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(depts), fmt.Sprint(per), "DATALOG^C choice",
+			ms(dur), fmt.Sprint(chRes.Stats.Derivations), fmt.Sprint(chRes.Stats.TuplesScanned)})
+
+		var optRes *core.Result
+		dur, _ = timed(func() error {
+			optRes = evalOnce(optInfo, db, core.Options{})
+			return nil
+		})
+		if !optRes.Relation("all_depts").Equal(base.Relation("all_depts")) {
+			panic("E2: optimized variant computed a different answer")
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(depts), fmt.Sprint(per), "IDLOG emp[2](N,D,0)",
+			ms(dur), fmt.Sprint(optRes.Stats.Derivations), fmt.Sprint(optRes.Stats.TuplesScanned)})
+	}
+	t.Notes = append(t.Notes,
+		"all three variants are verified to return the identical department set",
+		"choice-variant derivations include building the choice-domain relation (its cost is the same order as plain DATALOG; the saving appears downstream of the choice)",
+		"ID-materialization still makes one grouping pass over emp (tid-pruned per footnote 6), so wall time is near parity on this single-join query; the asymptotic win appears when the eliminated tuples feed further joins (see E3)")
+	return t
+}

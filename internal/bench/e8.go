@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+
+	"idlog/internal/core"
+	"idlog/internal/inflate"
+	"idlog/internal/value"
+)
+
+// E8 compares the non-deterministic inflationary semantics (DL,
+// §3.2.1 Example 3) with IDLOG's answer family for the same
+// man/woman query, and reports the cost of each approach.
+func E8(persons []int) *Table {
+	t := &Table{
+		ID:      "E8",
+		Title:   "inflationary DL vs IDLOG on the man/woman query",
+		Claim:   "(§3.2.1, Ex.3) the DL outcomes and the IDLOG answers form the same family (the powerset); IDLOG reaches each answer in one fixpoint run, DL fires one instantiation at a time",
+		Columns: []string{"persons", "semantics", "answers/outcome", "time ms"},
+	}
+	dl, err := inflate.Parse(inflate.DL, `
+		man(X) :- person(X), not woman(X).
+		woman(X) :- person(X), not man(X).
+	`)
+	if err != nil {
+		panic(err)
+	}
+	idlogInfo := mustAnalyze(mustParse(`
+		sex_guess(X, male) :- person(X).
+		sex_guess(X, female) :- person(X).
+		man(X) :- sex_guess[1](X, male, 1).
+	`))
+
+	for _, n := range persons {
+		db := core.NewDatabase()
+		for i := 0; i < n; i++ {
+			_ = db.Add("person", value.Strs(fmt.Sprintf("p%02d", i)))
+		}
+
+		var dlAnswers []*core.Answer
+		dur, err := timed(func() error {
+			var err error
+			dlAnswers, err = dl.EnumerateOutcomes(db, []string{"man"}, inflate.EnumerateOptions{MaxStates: 2000000})
+			return err
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), "DL enumerate",
+			fmt.Sprint(len(dlAnswers)), ms(dur)})
+
+		var idAnswers []*core.Answer
+		dur, err = timed(func() error {
+			var err error
+			idAnswers, err = core.Enumerate(idlogInfo, db, []string{"man"}, core.EnumerateOptions{MaxRuns: 2000000})
+			return err
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), "IDLOG enumerate",
+			fmt.Sprint(len(idAnswers)), ms(dur)})
+
+		if !sameFamily(dlAnswers, idAnswers) {
+			panic("E8: DL and IDLOG answer families differ")
+		}
+
+		// Single-run cost.
+		dur, err = timed(func() error {
+			_, err := dl.Eval(db, inflate.Options{Seed: 7})
+			return err
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), "DL single run", "1", ms(dur)})
+		dur, _ = timed(func() error {
+			evalOnce(idlogInfo, db, seededOpts(7))
+			return nil
+		})
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), "IDLOG single run", "1", ms(dur)})
+	}
+	t.Notes = append(t.Notes, "answer families verified equal (fingerprint sets over man)")
+	return t
+}
+
+func sameFamily(a, b []*core.Answer) bool {
+	fa := map[string]bool{}
+	for _, x := range a {
+		fa[x.Relations["man"].Fingerprint()] = true
+	}
+	fb := map[string]bool{}
+	for _, x := range b {
+		fb[x.Relations["man"].Fingerprint()] = true
+	}
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k := range fa {
+		if !fb[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package bench
+
+// Suite bundles the experiment parameterizations.
+type Suite struct {
+	// E1Sizes are (departments, employees-per-department) pairs.
+	E1Sizes [][2]int
+	// E1Seeds is the number of seeded runs per E1 configuration.
+	E1Seeds int
+	// E2Sizes are (departments, employees-per-department) pairs.
+	E2Sizes [][2]int
+	// E3Workloads are (chain length, fan-out) pairs.
+	E3Workloads [][2]int
+	// E4Sizes are (departments, employees-per-department) pairs.
+	E4Sizes [][2]int
+	// E5Steps are Turing step budgets.
+	E5Steps []int
+	// E6Chains and E6Grids size the transitive-closure graphs.
+	E6Chains []int
+	E6Grids  []int
+	// E7Persons and E8Persons size the enumeration inputs.
+	E7Persons []int
+	E8Persons []int
+	// E9Persons sizes the four-semantics comparison.
+	E9Persons []int
+	// E10Sizes are relation sizes for the counting experiment;
+	// E10Seeds is the invariance sample per size.
+	E10Sizes []int
+	E10Seeds int
+}
+
+// Quick returns a suite sized to finish in a few seconds.
+func Quick() Suite {
+	return Suite{
+		E1Sizes:     [][2]int{{4, 8}, {8, 16}},
+		E1Seeds:     20,
+		E2Sizes:     [][2]int{{10, 100}, {20, 500}},
+		E3Workloads: [][2]int{{40, 10}, {60, 25}},
+		E4Sizes:     [][2]int{{10, 50}, {20, 200}},
+		E5Steps:     []int{4, 8, 16},
+		E6Chains:    []int{64, 128},
+		E6Grids:     []int{8},
+		E7Persons:   []int{2, 4, 6},
+		E8Persons:   []int{2, 3},
+		E9Persons:   []int{2, 3},
+		E10Sizes:    []int{10, 100},
+		E10Seeds:    10,
+	}
+}
+
+// Full returns the paper-scale suite (tens of seconds).
+func Full() Suite {
+	return Suite{
+		E1Sizes:     [][2]int{{4, 8}, {8, 16}, {16, 32}, {32, 64}},
+		E1Seeds:     50,
+		E2Sizes:     [][2]int{{10, 100}, {20, 500}, {50, 1000}, {100, 2000}},
+		E3Workloads: [][2]int{{40, 10}, {60, 25}, {100, 50}, {150, 80}},
+		E4Sizes:     [][2]int{{10, 50}, {20, 200}, {50, 500}},
+		E5Steps:     []int{4, 8, 16, 32, 64},
+		E6Chains:    []int{64, 128, 256},
+		E6Grids:     []int{8, 12, 16},
+		E7Persons:   []int{2, 4, 6, 8, 10},
+		E8Persons:   []int{2, 3, 4},
+		E9Persons:   []int{2, 3, 4},
+		E10Sizes:    []int{10, 100, 1000, 5000},
+		E10Seeds:    20,
+	}
+}
+
+// Run executes the selected experiments ("" or "all" = every one).
+func Run(s Suite, only string) []*Table {
+	want := func(id string) bool { return only == "" || only == "all" || only == id }
+	var out []*Table
+	if want("E1") {
+		out = append(out, E1(s.E1Sizes, s.E1Seeds))
+	}
+	if want("E2") {
+		out = append(out, E2(s.E2Sizes))
+	}
+	if want("E3") {
+		out = append(out, E3(s.E3Workloads))
+	}
+	if want("E4") {
+		out = append(out, E4(s.E4Sizes))
+	}
+	if want("E5") {
+		out = append(out, E5(s.E5Steps))
+	}
+	if want("E6") {
+		out = append(out, E6(s.E6Chains, s.E6Grids))
+	}
+	if want("E7") {
+		out = append(out, E7(s.E7Persons))
+	}
+	if want("E8") {
+		out = append(out, E8(s.E8Persons))
+	}
+	if want("E9") {
+		out = append(out, E9(s.E9Persons))
+	}
+	if want("E10") {
+		out = append(out, E10(s.E10Sizes, s.E10Seeds))
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"idlog/internal/analysis"
+	"idlog/internal/arith"
+	"idlog/internal/ast"
+	"idlog/internal/value"
+)
+
+// argKind classifies a compiled argument position relative to the static
+// binding state at its literal (the body order is fixed by analysis, so
+// the binding state of every position is known at compile time).
+type argKind uint8
+
+const (
+	// argConst is a constant argument.
+	argConst argKind = iota
+	// argBound is a variable bound by an earlier literal.
+	argBound
+	// argBind is the first occurrence of a variable: evaluating the
+	// literal binds its slot.
+	argBind
+	// argCheck is a repeated occurrence, within the same literal, of a
+	// variable first bound at an earlier position of this literal.
+	argCheck
+)
+
+type compiledArg struct {
+	kind argKind
+	slot int         // for argBound/argBind/argCheck
+	val  value.Value // for argConst
+}
+
+type compiledLit struct {
+	neg     bool
+	builtin *arith.Builtin // non-nil for interpreted literals
+	pred    string         // base predicate for relational literals
+	isID    bool
+	idKey   string // analysis.IDNeed key for ID-literals
+	args    []compiledArg
+	// probeCols/probeArgs identify the statically-bound columns used for
+	// index probes on relational literals.
+	probeCols []int
+	probeArgs []compiledArg
+	// keyBuf, argsBuf and maskBuf are per-literal scratch space reused
+	// across instantiations (clause evaluation is single-threaded).
+	keyBuf  value.Tuple
+	argsBuf []value.Value
+	maskBuf []bool
+	// recursive marks positive ordinary literals over same-stratum
+	// predicates (the semi-naive delta positions).
+	recursive bool
+}
+
+type compiledClause struct {
+	src      *analysis.OrderedClause
+	headPred string
+	headArgs []compiledArg
+	lits     []compiledLit
+	nslots   int
+	// recPositions are the indices into lits that are recursive; the
+	// semi-naive evaluator substitutes the delta relation at exactly one
+	// of them per pass.
+	recPositions []int
+	// headBuf is scratch space for candidate head tuples; the relation
+	// clones it on actual insertion (InsertShared).
+	headBuf value.Tuple
+}
+
+// compileClause translates an ordered clause into slot form. stratumPred
+// reports whether a predicate belongs to the stratum being compiled.
+func compileClause(oc *analysis.OrderedClause, stratumPred func(string) bool) (*compiledClause, error) {
+	slots := map[string]int{}
+	slotOf := func(name string) int {
+		if s, ok := slots[name]; ok {
+			return s
+		}
+		s := len(slots)
+		slots[name] = s
+		return s
+	}
+	cc := &compiledClause{src: oc, headPred: oc.Clause.Head.Pred}
+
+	bound := map[string]bool{}
+	for li, l := range oc.Clause.Body {
+		a := l.Atom
+		cl := compiledLit{neg: l.Neg, pred: a.Pred, isID: a.IsID}
+		if b, ok := arith.Lookup(a.Pred); ok {
+			cl.builtin = b
+		}
+		if a.IsID {
+			cl.idKey = analysis.IDNeed{Pred: a.Pred, Group: a.Group}.Key()
+		}
+		litSeen := map[string]int{} // var -> position of first in-literal binding
+		for pos, t := range a.Args {
+			switch t := t.(type) {
+			case ast.Const:
+				cl.args = append(cl.args, compiledArg{kind: argConst, val: t.Val})
+			case ast.Var:
+				switch {
+				case bound[t.Name]:
+					cl.args = append(cl.args, compiledArg{kind: argBound, slot: slotOf(t.Name)})
+				case litSeen[t.Name] > 0:
+					cl.args = append(cl.args, compiledArg{kind: argCheck, slot: slotOf(t.Name)})
+				default:
+					litSeen[t.Name] = pos + 1
+					cl.args = append(cl.args, compiledArg{kind: argBind, slot: slotOf(t.Name)})
+				}
+			default:
+				return nil, fmt.Errorf("compile %s: unsupported term %T", oc.Source, t)
+			}
+		}
+		if cl.builtin == nil {
+			for pos, ca := range cl.args {
+				if ca.kind == argConst || ca.kind == argBound {
+					cl.probeCols = append(cl.probeCols, pos)
+					cl.probeArgs = append(cl.probeArgs, ca)
+				}
+			}
+			cl.keyBuf = make(value.Tuple, len(cl.probeArgs))
+			if !l.Neg && !a.IsID && stratumPred(a.Pred) {
+				cl.recursive = true
+				cc.recPositions = append(cc.recPositions, li)
+			}
+		} else {
+			cl.argsBuf = make([]value.Value, len(cl.args))
+			cl.maskBuf = make([]bool, len(cl.args))
+		}
+		// A positive literal binds all its variables for later literals.
+		if !l.Neg {
+			for _, t := range a.Args {
+				if v, ok := t.(ast.Var); ok {
+					bound[v.Name] = true
+				}
+			}
+		}
+		cc.lits = append(cc.lits, cl)
+	}
+	for _, t := range oc.Clause.Head.Args {
+		switch t := t.(type) {
+		case ast.Const:
+			cc.headArgs = append(cc.headArgs, compiledArg{kind: argConst, val: t.Val})
+		case ast.Var:
+			s, ok := slots[t.Name]
+			if !ok {
+				return nil, fmt.Errorf("compile %s: head variable %s unbound (analysis should have caught this)", oc.Source, t.Name)
+			}
+			cc.headArgs = append(cc.headArgs, compiledArg{kind: argBound, slot: s})
+		default:
+			return nil, fmt.Errorf("compile %s: unsupported head term %T", oc.Source, t)
+		}
+	}
+	cc.nslots = len(slots)
+	cc.headBuf = make(value.Tuple, len(cc.headArgs))
+	return cc, nil
+}

@@ -1,0 +1,159 @@
+// Package core is the IDLOG evaluation engine: it computes the perfect
+// model of a stratified IDLOG program (Theorem 1 of the paper) for a
+// fixed assignment of ID-functions, and enumerates the answers of
+// non-deterministic queries by walking all assignments (§3.1).
+//
+// The engine consumes the plan produced by internal/analysis: strata are
+// evaluated in order; within a stratum, clauses run semi-naively to a
+// fixpoint; ID-relations needed by a stratum are materialized from the
+// already-computed relations under a pluggable relation.Oracle, which is
+// the single source of non-determinism.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"idlog/internal/relation"
+	"idlog/internal/value"
+)
+
+// Database holds the input (EDB) relations for a query: the paper's
+// input database r = (u-domain; r1, ..., rn).
+type Database struct {
+	rels map[string]*relation.Relation
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*relation.Relation)}
+}
+
+// Add inserts a tuple into the named relation, creating the relation
+// with the tuple's arity on first use.
+func (db *Database) Add(name string, t value.Tuple) error {
+	r, ok := db.rels[name]
+	if !ok {
+		r = relation.New(name, len(t))
+		db.rels[name] = r
+	}
+	_, err := r.Insert(t)
+	return err
+}
+
+// AddAll inserts a batch of tuples into the named relation.
+func (db *Database) AddAll(name string, tuples ...value.Tuple) error {
+	for _, t := range tuples {
+		if err := db.Add(name, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetRelation installs (or replaces) a whole relation under name.
+func (db *Database) SetRelation(name string, r *relation.Relation) {
+	db.rels[name] = r
+}
+
+// Relation returns the named relation, or nil when absent.
+func (db *Database) Relation(name string) *relation.Relation {
+	return db.rels[name]
+}
+
+// Names returns the relation names present, sorted.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a database sharing relation contents (relations are not
+// mutated by evaluation) but with an independent name table.
+func (db *Database) Clone() *Database {
+	c := NewDatabase()
+	for n, r := range db.rels {
+		c.rels[n] = r
+	}
+	return c
+}
+
+// Stats accumulates evaluation counters. The TuplesScanned and
+// Derivations counters are the "intermediate redundant tuples" measure
+// used by the optimization experiments (§4 of the paper).
+type Stats struct {
+	// Derivations counts successful body instantiations (head tuples
+	// produced, including duplicates of already-known tuples).
+	Derivations int
+	// Inserted counts genuinely new tuples added to IDB relations.
+	Inserted int
+	// TuplesScanned counts tuples inspected while matching relational
+	// body literals.
+	TuplesScanned int
+	// Iterations counts fixpoint rounds across all strata.
+	Iterations int
+	// IDRelations counts materialized ID-relations.
+	IDRelations int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Derivations += other.Derivations
+	s.Inserted += other.Inserted
+	s.TuplesScanned += other.TuplesScanned
+	s.Iterations += other.Iterations
+	s.IDRelations += other.IDRelations
+}
+
+// String summarizes the counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("derivations=%d inserted=%d scanned=%d iterations=%d idrels=%d",
+		s.Derivations, s.Inserted, s.TuplesScanned, s.Iterations, s.IDRelations)
+}
+
+// Result is the computed perfect model: every program relation (EDB and
+// IDB) plus the materialized ID-relations, and the run's statistics.
+type Result struct {
+	rels   map[string]*relation.Relation
+	idrels map[string]*relation.Relation
+	prov   map[string]provEntry
+	// Stats holds the evaluation counters for this run.
+	Stats Stats
+}
+
+// Relation returns the named relation from the model. IDB predicates
+// with no derived tuples yield an empty relation rather than nil.
+func (r *Result) Relation(name string) *relation.Relation {
+	return r.rels[name]
+}
+
+// IDRelation returns a materialized ID-relation by its need key, e.g.
+// "emp[1]" (0-based columns); mainly for tests and debugging.
+func (r *Result) IDRelation(key string) *relation.Relation {
+	return r.idrels[key]
+}
+
+// Relations returns the names of all relations in the model, sorted.
+func (r *Result) Relations() []string {
+	out := make([]string, 0, len(r.rels))
+	for n := range r.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeepClone returns a database whose relations are rebuilt copies
+// sharing no internal state with db; use it to hand inputs to parallel
+// evaluations (relations build indexes lazily and are not safe for
+// concurrent use).
+func (db *Database) DeepClone() *Database {
+	c := NewDatabase()
+	for n, r := range db.rels {
+		c.rels[n] = r.DeepClone()
+	}
+	return c
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+
+	"idlog/internal/analysis"
+	"idlog/internal/relation"
+	"idlog/internal/value"
+)
+
+// Options configures a single evaluation run.
+type Options struct {
+	// Oracle chooses ID-functions; nil defaults to relation.SortedOracle,
+	// giving a deterministic canonical run.
+	Oracle relation.Oracle
+	// Naive disables semi-naive (delta) evaluation; each fixpoint round
+	// re-evaluates every clause against the full relations. Used by the
+	// E6 ablation benchmark.
+	Naive bool
+	// MaxDerivations aborts evaluation once the total number of body
+	// instantiations exceeds this bound (0 = unlimited); a safety valve
+	// for generated programs.
+	MaxDerivations int
+	// Trace records, for every derived tuple, the clause and ground
+	// body facts of its first derivation, enabling Result.Explain.
+	// Costs memory proportional to the model.
+	Trace bool
+}
+
+func (o Options) oracle() relation.Oracle {
+	if o.Oracle == nil {
+		return relation.SortedOracle{}
+	}
+	return o.Oracle
+}
+
+// Eval computes the perfect model of the analyzed program over db for
+// the ID-function assignment drawn from opts.Oracle (Theorem 1: for a
+// fixed assignment the stratified program has a unique perfect model,
+// computed stratum by stratum as an iterated minimal model).
+func Eval(info *analysis.Info, db *Database, opts Options) (*Result, error) {
+	e := &engine{info: info, opts: opts, work: map[string]*relation.Relation{}, idrels: map[string]*relation.Relation{}}
+	if opts.Trace {
+		e.prov = map[string]provEntry{}
+	}
+	// Input relations: use the database's, or empty ones when absent.
+	for p := range info.EDB {
+		r := db.Relation(p)
+		if r == nil {
+			r = relation.New(p, info.Arity[p])
+		} else if r.Arity() != info.Arity[p] {
+			return nil, fmt.Errorf("eval: input relation %s has arity %d, program expects %d", p, r.Arity(), info.Arity[p])
+		}
+		e.work[p] = r
+	}
+	for p := range info.IDB {
+		e.work[p] = relation.New(p, info.Arity[p])
+	}
+	for _, s := range info.Strata {
+		if err := e.evalStratum(s); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{rels: e.work, idrels: e.idrels, Stats: e.stats, prov: e.prov}, nil
+}
+
+type engine struct {
+	info   *analysis.Info
+	opts   Options
+	work   map[string]*relation.Relation
+	idrels map[string]*relation.Relation
+	stats  Stats
+	prov   map[string]provEntry
+}
+
+func (e *engine) evalStratum(s *analysis.Stratum) error {
+	// Materialize the ID-relations this stratum references; every base
+	// relation is complete by now (stratification guarantees it).
+	for _, need := range s.IDNeeds {
+		base, ok := e.work[need.Pred]
+		if !ok {
+			return fmt.Errorf("eval: ID-relation over unknown predicate %s", need.Pred)
+		}
+		idr, err := relation.MaterializeIDBounded(base, need.Key(), need.Group, e.opts.oracle(), need.Bound)
+		if err != nil {
+			return err
+		}
+		e.idrels[need.Key()] = idr
+		e.stats.IDRelations++
+	}
+
+	inStratum := map[string]bool{}
+	for _, p := range s.Preds {
+		inStratum[p] = true
+	}
+	var compiled []*compiledClause
+	for _, oc := range s.Clauses {
+		cc, err := compileClause(oc, func(p string) bool { return inStratum[p] })
+		if err != nil {
+			return err
+		}
+		compiled = append(compiled, cc)
+	}
+	if e.opts.Naive {
+		return e.naiveFixpoint(compiled)
+	}
+	return e.seminaiveFixpoint(s, compiled)
+}
+
+// naiveFixpoint repeatedly evaluates every clause against the full
+// relations until no clause derives a new tuple.
+func (e *engine) naiveFixpoint(clauses []*compiledClause) error {
+	for {
+		e.stats.Iterations++
+		inserted := 0
+		for _, cc := range clauses {
+			n, err := e.evalClause(cc, -1, nil, e.work[cc.headPred])
+			if err != nil {
+				return err
+			}
+			inserted += n
+		}
+		if inserted == 0 {
+			return nil
+		}
+	}
+}
+
+// seminaiveFixpoint performs one naive round to seed the stratum, then
+// iterates only the recursive clauses with delta substitution: each pass
+// evaluates every recursive clause once per recursive body position,
+// with that position reading the previous round's newly derived tuples.
+func (e *engine) seminaiveFixpoint(s *analysis.Stratum, clauses []*compiledClause) error {
+	e.stats.Iterations++
+	delta := map[string]*relation.Relation{}
+	for _, p := range s.Preds {
+		delta[p] = relation.New(p, e.work[p].Arity())
+	}
+	for _, cc := range clauses {
+		if _, err := e.evalClause(cc, -1, delta[cc.headPred], e.work[cc.headPred]); err != nil {
+			return err
+		}
+	}
+	var recursive []*compiledClause
+	for _, cc := range clauses {
+		if len(cc.recPositions) > 0 {
+			recursive = append(recursive, cc)
+		}
+	}
+	for {
+		total := 0
+		for _, d := range delta {
+			total += d.Len()
+		}
+		if total == 0 || len(recursive) == 0 {
+			return nil
+		}
+		e.stats.Iterations++
+		next := map[string]*relation.Relation{}
+		for _, p := range s.Preds {
+			next[p] = relation.New(p, e.work[p].Arity())
+		}
+		for _, cc := range recursive {
+			for _, pos := range cc.recPositions {
+				// Substitute the delta relation at exactly one recursive
+				// position; other positions read the full relations
+				// (which already include the delta).
+				d := delta[cc.lits[pos].pred]
+				if d == nil || d.Len() == 0 {
+					continue
+				}
+				if _, err := e.evalClauseDelta(cc, pos, d, next[cc.headPred], e.work[cc.headPred]); err != nil {
+					return err
+				}
+			}
+		}
+		delta = next
+	}
+}
+
+// resolve returns the relation a compiled literal reads.
+func (e *engine) resolve(cl *compiledLit) (*relation.Relation, error) {
+	if cl.isID {
+		r, ok := e.idrels[cl.idKey]
+		if !ok {
+			return nil, fmt.Errorf("eval: ID-relation %s not materialized", cl.idKey)
+		}
+		return r, nil
+	}
+	r, ok := e.work[cl.pred]
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown predicate %s", cl.pred)
+	}
+	return r, nil
+}
+
+// evalClause evaluates cc against the current relations. New head tuples
+// are inserted into full; when deltaSink is non-nil they are also added
+// there (seeding semi-naive). It returns the number of new tuples.
+func (e *engine) evalClause(cc *compiledClause, _ int, deltaSink, full *relation.Relation) (int, error) {
+	return e.run(cc, -1, nil, deltaSink, full)
+}
+
+// evalClauseDelta is one semi-naive pass: the literal at deltaPos reads
+// deltaRel instead of its full relation.
+func (e *engine) evalClauseDelta(cc *compiledClause, deltaPos int, deltaRel, deltaSink, full *relation.Relation) (int, error) {
+	return e.run(cc, deltaPos, deltaRel, deltaSink, full)
+}
+
+func (e *engine) run(cc *compiledClause, deltaPos int, deltaRel, deltaSink, full *relation.Relation) (int, error) {
+	env := make([]value.Value, cc.nslots)
+	inserted := 0
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		if depth == len(cc.lits) {
+			e.stats.Derivations++
+			if e.opts.MaxDerivations > 0 && e.stats.Derivations > e.opts.MaxDerivations {
+				return fmt.Errorf("eval: derivation budget %d exceeded (clause %s)", e.opts.MaxDerivations, cc.src.Source)
+			}
+			head := cc.headBuf
+			for i, a := range cc.headArgs {
+				if a.kind == argConst {
+					head[i] = a.val
+				} else {
+					head[i] = env[a.slot]
+				}
+			}
+			stored, err := full.InsertShared(head)
+			if err != nil {
+				return err
+			}
+			if stored != nil {
+				inserted++
+				e.stats.Inserted++
+				e.recordProvenance(cc, env, stored)
+				if deltaSink != nil {
+					deltaSink.MustInsert(stored)
+				}
+			}
+			return nil
+		}
+		cl := &cc.lits[depth]
+		if cl.builtin != nil {
+			return e.stepBuiltin(cc, cl, env, depth, rec)
+		}
+		if cl.neg {
+			return e.stepNegated(cl, env, depth, rec)
+		}
+		rel, err := e.resolve(cl)
+		if err != nil {
+			return err
+		}
+		if depth == deltaPos {
+			rel = deltaRel
+		}
+		return e.stepScan(cl, rel, env, depth, rec)
+	}
+	if err := rec(0); err != nil {
+		return inserted, err
+	}
+	return inserted, nil
+}
+
+// stepScan matches a positive relational literal by probing the indexed
+// columns and binding the rest.
+func (e *engine) stepScan(cl *compiledLit, rel *relation.Relation, env []value.Value, depth int, rec func(int) error) error {
+	match := func(t value.Tuple) error {
+		ok := true
+		for pos, a := range cl.args {
+			switch a.kind {
+			case argBind:
+				env[a.slot] = t[pos]
+			case argCheck:
+				if !t[pos].Equal(env[a.slot]) {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			return nil
+		}
+		return rec(depth + 1)
+	}
+	if len(cl.probeCols) == 0 {
+		tuples := rel.Tuples()
+		e.stats.TuplesScanned += len(tuples)
+		for _, t := range tuples {
+			if err := match(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	key := cl.keyBuf
+	for i, a := range cl.probeArgs {
+		if a.kind == argConst {
+			key[i] = a.val
+		} else {
+			key[i] = env[a.slot]
+		}
+	}
+	// Iterate index positions directly to avoid materializing the
+	// candidate slice. The positions slice is the index's own bucket
+	// and must not be mutated; inserts during iteration may append to
+	// it, but appended tuples are new head derivations of *other*
+	// relations (a clause never inserts into a relation it scans in the
+	// same instantiation path — recursive clauses read delta copies), so
+	// a snapshot of the length keeps iteration well-defined.
+	positions := rel.Probe(cl.probeCols, key)
+	n := len(positions)
+	e.stats.TuplesScanned += n
+	for i := 0; i < n; i++ {
+		if err := match(rel.At(positions[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepNegated checks a fully-bound negated relational literal.
+func (e *engine) stepNegated(cl *compiledLit, env []value.Value, depth int, rec func(int) error) error {
+	rel, err := e.resolve(cl)
+	if err != nil {
+		return err
+	}
+	t := make(value.Tuple, len(cl.args))
+	for i, a := range cl.args {
+		if a.kind == argConst {
+			t[i] = a.val
+		} else {
+			t[i] = env[a.slot]
+		}
+	}
+	if rel.Contains(t) {
+		return nil
+	}
+	return rec(depth + 1)
+}
+
+// stepBuiltin evaluates an interpreted literal by enumerating the
+// solutions of its relation under the current bindings.
+func (e *engine) stepBuiltin(cc *compiledClause, cl *compiledLit, env []value.Value, depth int, rec func(int) error) error {
+	args, mask := cl.argsBuf, cl.maskBuf
+	for i, a := range cl.args {
+		switch a.kind {
+		case argConst:
+			args[i] = a.val
+			mask[i] = true
+		case argBound:
+			args[i] = env[a.slot]
+			mask[i] = true
+		default:
+			args[i] = value.Value{}
+			mask[i] = false
+		}
+	}
+	sols, err := cl.builtin.Solve(args, mask)
+	if err != nil {
+		return fmt.Errorf("clause %s: %w", cc.src.Source, err)
+	}
+	if cl.neg {
+		if len(sols) == 0 {
+			return rec(depth + 1)
+		}
+		return nil
+	}
+	for _, sol := range sols {
+		ok := true
+		for i, a := range cl.args {
+			switch a.kind {
+			case argBind:
+				env[a.slot] = sol[i]
+			case argCheck:
+				if !sol[i].Equal(env[a.slot]) {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if err := rec(depth + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"idlog/internal/value"
+)
+
+func TestExplainTransitiveClosure(t *testing.T) {
+	src := `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+	`
+	res := mustEval(t, src, chainDB(4), Options{Trace: true})
+	out, err := res.Explain("tc", value.Ints(0, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tree must bottom out at input edges and mention the recursive
+	// clause.
+	if !strings.Contains(out, "[input]") {
+		t.Fatalf("no input leaves:\n%s", out)
+	}
+	if !strings.Contains(out, "tc(X, Y) :- e(X, Z), tc(Z, Y).") {
+		t.Fatalf("recursive clause missing:\n%s", out)
+	}
+	// Depth: tc(0,3) <- e(0,1), tc(1,3) <- e(1,2), tc(2,3) <- e(2,3).
+	for _, node := range []string{"tc(0, 3)", "tc(1, 3)", "tc(2, 3)", "e(0, 1)", "e(1, 2)", "e(2, 3)"} {
+		if !strings.Contains(out, node) {
+			t.Fatalf("node %s missing:\n%s", node, out)
+		}
+	}
+	if got := strings.Count(out, "<="); got != 3 {
+		t.Fatalf("expected 3 derivation nodes, got %d:\n%s", got, out)
+	}
+}
+
+func TestExplainWithIDAndNegationAndArith(t *testing.T) {
+	src := `
+		first(N) :- emp[2](N, D, 0).
+		lonely(N) :- emp(N, D), not crowd(D), succ(0, K), K = 1.
+		crowd(D) :- emp(N, D), emp(N2, D), N != N2.
+	`
+	res := mustEval(t, src, empDB(), Options{Trace: true})
+	firstTuple := res.Relation("first").Sorted()[0]
+	out, err := res.Explain("first", firstTuple, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[ID-relation choice]") {
+		t.Fatalf("ID leaf missing:\n%s", out)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	src := `p(a).`
+	res := mustEval(t, src, NewDatabase(), Options{})
+	if _, err := res.Explain("p", value.Strs("a"), 0); err == nil {
+		t.Fatalf("untraced run should refuse Explain")
+	}
+	traced := mustEval(t, src, NewDatabase(), Options{Trace: true})
+	if _, err := traced.Explain("p", value.Strs("zzz"), 0); err == nil {
+		t.Fatalf("absent tuple should error")
+	}
+	out, err := traced.Explain("p", value.Strs("a"), 0)
+	if err != nil || !strings.Contains(out, "p(a)") {
+		t.Fatalf("fact explanation: %q %v", out, err)
+	}
+}
+
+func TestExplainDepthLimit(t *testing.T) {
+	src := `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+	`
+	res := mustEval(t, src, chainDB(30), Options{Trace: true})
+	out, err := res.Explain("tc", value.Ints(0, 30), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "depth limit") {
+		t.Fatalf("depth limit not applied:\n%s", out)
+	}
+}
+
+func TestTraceDoesNotChangeResults(t *testing.T) {
+	src := `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+	`
+	db := chainDB(12)
+	plain := mustEval(t, src, db, Options{})
+	traced := mustEval(t, src, db, Options{Trace: true})
+	if !plain.Relation("tc").Equal(traced.Relation("tc")) {
+		t.Fatalf("tracing changed the model")
+	}
+}

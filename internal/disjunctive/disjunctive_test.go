@@ -1,0 +1,159 @@
+package disjunctive
+
+import (
+	"strings"
+	"testing"
+
+	"idlog/internal/analysis"
+	"idlog/internal/core"
+	"idlog/internal/parser"
+	"idlog/internal/value"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExample2DisjunctiveClause(t *testing.T) {
+	// man(X) ∨ woman(X) :- person(X): the minimal models are exactly
+	// the 2^n partitions of persons.
+	p := mustParse(t, `man(X), woman(X) :- person(X).`)
+	db := core.NewDatabase()
+	_ = db.AddAll("person", value.Strs("a"), value.Strs("b"))
+	models, err := p.MinimalModels(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 4 {
+		t.Fatalf("minimal models = %d, want 4", len(models))
+	}
+	for _, m := range models {
+		man := m.Relation("man", 1)
+		woman := m.Relation("woman", 1)
+		if man.Len()+woman.Len() != 2 {
+			t.Fatalf("non-partition minimal model: man=%v woman=%v", man, woman)
+		}
+		for _, tup := range man.Tuples() {
+			if woman.Contains(tup) {
+				t.Fatalf("minimal model has %v both ways", tup)
+			}
+		}
+	}
+}
+
+func TestFamilyMatchesIDLOGExample2(t *testing.T) {
+	// §3.2: the DATALOG∨ clause defines the same man-answer family as
+	// the IDLOG program of Example 2.
+	p := mustParse(t, `man(X), woman(X) :- person(X).`)
+	db := core.NewDatabase()
+	_ = db.AddAll("person", value.Strs("a"), value.Strs("b"), value.Strs("c"))
+	models, err := p.MinimalModels(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disjFPs := map[string]bool{}
+	for _, m := range models {
+		disjFPs[m.Relation("man", 1).Fingerprint()] = true
+	}
+
+	prog, err := parser.Program(`
+		sex_guess(X, male) :- person(X).
+		sex_guess(X, female) :- person(X).
+		man(X) :- sex_guess[1](X, male, 1).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := analysis.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := core.Enumerate(info, db, []string{"man"}, core.EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(models) {
+		t.Fatalf("IDLOG %d answers vs %d minimal models", len(answers), len(models))
+	}
+	for _, a := range answers {
+		if !disjFPs[a.Relations["man"].Fingerprint()] {
+			t.Fatalf("IDLOG answer %v missing from minimal models", a.Relations["man"])
+		}
+	}
+}
+
+func TestDefiniteProgramHasUniqueMinimalModel(t *testing.T) {
+	p := mustParse(t, `
+		r(X) :- s(X).
+		t(X) :- r(X).
+	`)
+	db := core.NewDatabase()
+	_ = db.AddAll("s", value.Strs("a"), value.Strs("b"))
+	models, err := p.MinimalModels(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 {
+		t.Fatalf("models = %d, want 1", len(models))
+	}
+	if models[0].Relation("t", 1).Len() != 2 {
+		t.Fatalf("t = %v", models[0].Relation("t", 1))
+	}
+}
+
+func TestMinimalityFiltersSupersets(t *testing.T) {
+	// a ∨ b. (propositional): models {a}, {b}, {a,b}; minimal: {a},{b}.
+	p := mustParse(t, `a, b.`)
+	models, err := p.MinimalModels(core.NewDatabase(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("models = %d, want 2", len(models))
+	}
+	for _, m := range models {
+		if len(m.Atoms) != 1 {
+			t.Fatalf("non-minimal model %v", m.Atoms)
+		}
+	}
+}
+
+func TestNegationRejected(t *testing.T) {
+	if _, err := Parse(`p(X) :- q(X), not r(X).`); err == nil {
+		t.Fatalf("negation accepted")
+	}
+	if _, err := Parse(`not p(X) :- q(X).`); err == nil {
+		t.Fatalf("negated head accepted")
+	}
+}
+
+func TestAtomBudget(t *testing.T) {
+	p := mustParse(t, `a(X), b(X) :- d(X).`)
+	db := core.NewDatabase()
+	for i := 0; i < 15; i++ {
+		_ = db.Add("d", value.Ints(int64(i)))
+	}
+	_, err := p.MinimalModels(db, Options{MaxAtoms: 8})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuiltinsInBodies(t *testing.T) {
+	p := mustParse(t, `low(X), high(X) :- d(X), X < 5.`)
+	db := core.NewDatabase()
+	_ = db.AddAll("d", value.Ints(1), value.Ints(9))
+	models, err := p.MinimalModels(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only d(1) passes the comparison: two minimal models.
+	if len(models) != 2 {
+		t.Fatalf("models = %d, want 2", len(models))
+	}
+}

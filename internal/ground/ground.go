@@ -1,0 +1,294 @@
+// Package ground instantiates DATALOG¬ clauses over the active domain.
+// It is the substrate for the alternative non-deterministic semantics
+// that §3.2 of the paper surveys — stable models (internal/stable) and
+// disjunctive minimal models (internal/disjunctive) — both of which are
+// defined on ground programs.
+//
+// Grounding is active-domain: clause variables range over the constants
+// of the input database and the program. Interpreted literals act as
+// filters (they must be fully instantiated by the assignment), and
+// literals over input (EDB) predicates are resolved immediately against
+// the database, so the ground clauses mention only derived atoms.
+package ground
+
+import (
+	"fmt"
+	"sort"
+
+	"idlog/internal/arith"
+	"idlog/internal/ast"
+	"idlog/internal/core"
+	"idlog/internal/value"
+)
+
+// Atom is a ground atom.
+type Atom struct {
+	Pred  string
+	Tuple value.Tuple
+}
+
+// Key returns a canonical map key.
+func (a Atom) Key() string { return a.Pred + "(" + a.Tuple.Key() + ")" }
+
+// String renders the atom.
+func (a Atom) String() string {
+	s := a.Pred
+	if len(a.Tuple) > 0 {
+		s += a.Tuple.String()
+	}
+	return s
+}
+
+// Clause is a ground clause: disjunctive/conjunctive head atoms and a
+// body of positive and negated derived atoms (EDB and interpreted
+// literals have been resolved away).
+type Clause struct {
+	Head []Atom
+	Neg  []Atom // negated body atoms (over derived predicates)
+	Pos  []Atom // positive body atoms (over derived predicates)
+}
+
+// Program is the grounding result.
+type Program struct {
+	Clauses []Clause
+	// Atoms is the set of derivable ground atoms (head occurrences),
+	// sorted by key: the candidate space for model search.
+	Atoms []Atom
+}
+
+// AtomKeys returns the candidate atom keys, sorted.
+func (p *Program) AtomKeys() []string {
+	out := make([]string, len(p.Atoms))
+	for i, a := range p.Atoms {
+		out[i] = a.Key()
+	}
+	return out
+}
+
+// Options bounds the grounding.
+type Options struct {
+	// MaxClauses aborts when more ground clauses are produced (default
+	// 200000): active-domain grounding is exponential in clause width.
+	MaxClauses int
+}
+
+// Rule pairs a (possibly multi-atom) head with a body, the generalized
+// clause shape shared by stable (single head) and disjunctive
+// (multi-head) programs.
+type Rule struct {
+	Head []*ast.Atom
+	Body []*ast.Literal
+}
+
+// Ground instantiates the rules over db's active domain. idb must hold
+// the derived predicate names (head predicates); every other relational
+// literal is resolved against db.
+func Ground(rules []Rule, db *core.Database, idb map[string]bool, opts Options) (*Program, error) {
+	maxClauses := opts.MaxClauses
+	if maxClauses == 0 {
+		maxClauses = 200000
+	}
+	domain := activeDomain(rules, db)
+	prog := &Program{}
+	atomSet := map[string]Atom{}
+
+	for _, r := range rules {
+		vars := ruleVars(r)
+		assignment := map[string]value.Value{}
+		var walk func(i int) error
+		walk = func(i int) error {
+			if i == len(vars) {
+				gc, ok, err := instantiate(r, assignment, db, idb)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if len(prog.Clauses) >= maxClauses {
+					return fmt.Errorf("ground: clause budget %d exceeded", maxClauses)
+				}
+				prog.Clauses = append(prog.Clauses, gc)
+				for _, a := range gc.Head {
+					atomSet[a.Key()] = a
+				}
+				return nil
+			}
+			for _, d := range domain {
+				assignment[vars[i]] = d
+				if err := walk(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(0); err != nil {
+			return nil, err
+		}
+	}
+	keys := make([]string, 0, len(atomSet))
+	for k := range atomSet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		prog.Atoms = append(prog.Atoms, atomSet[k])
+	}
+	return prog, nil
+}
+
+// instantiate evaluates one total assignment: EDB and interpreted
+// literals are checked now; derived literals become the ground body.
+// ok is false when a check fails (the instance is vacuous).
+func instantiate(r Rule, env map[string]value.Value, db *core.Database, idb map[string]bool) (Clause, bool, error) {
+	var gc Clause
+	groundTuple := func(args []ast.Term) (value.Tuple, error) {
+		t := make(value.Tuple, len(args))
+		for i, a := range args {
+			switch a := a.(type) {
+			case ast.Const:
+				t[i] = a.Val
+			case ast.Var:
+				v, ok := env[a.Name]
+				if !ok {
+					return nil, fmt.Errorf("ground: unbound variable %s", a.Name)
+				}
+				t[i] = v
+			}
+		}
+		return t, nil
+	}
+	for _, l := range r.Body {
+		a := l.Atom
+		if b, ok := arith.Lookup(a.Pred); ok {
+			t, err := groundTuple(a.Args)
+			if err != nil {
+				return gc, false, err
+			}
+			mask := make([]bool, len(t))
+			for i := range mask {
+				mask[i] = true
+			}
+			sols, err := b.Solve(t, mask)
+			if err != nil {
+				return gc, false, err
+			}
+			holds := len(sols) > 0
+			if holds == l.Neg {
+				return gc, false, nil
+			}
+			continue
+		}
+		t, err := groundTuple(a.Args)
+		if err != nil {
+			return gc, false, err
+		}
+		if !idb[a.Pred] {
+			rel := db.Relation(a.Pred)
+			holds := rel != nil && rel.Contains(t)
+			if holds == l.Neg {
+				return gc, false, nil
+			}
+			continue
+		}
+		ga := Atom{Pred: a.Pred, Tuple: t}
+		if l.Neg {
+			gc.Neg = append(gc.Neg, ga)
+		} else {
+			gc.Pos = append(gc.Pos, ga)
+		}
+	}
+	for _, h := range r.Head {
+		t, err := groundTuple(h.Args)
+		if err != nil {
+			return gc, false, err
+		}
+		gc.Head = append(gc.Head, Atom{Pred: h.Pred, Tuple: t})
+	}
+	return gc, true, nil
+}
+
+// ruleVars returns the distinct variable names of a rule.
+func ruleVars(r Rule) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(args []ast.Term) {
+		for _, t := range args {
+			if v, ok := t.(ast.Var); ok && !seen[v.Name] {
+				seen[v.Name] = true
+				out = append(out, v.Name)
+			}
+		}
+	}
+	for _, h := range r.Head {
+		add(h.Args)
+	}
+	for _, l := range r.Body {
+		add(l.Atom.Args)
+	}
+	return out
+}
+
+// activeDomain collects the constants of the database and the rules,
+// sorted canonically.
+func activeDomain(rules []Rule, db *core.Database) []value.Value {
+	set := map[string]value.Value{}
+	addVal := func(v value.Value) { set[value.Tuple{v}.Key()] = v }
+	for _, name := range db.Names() {
+		for _, t := range db.Relation(name).Tuples() {
+			for _, v := range t {
+				addVal(v)
+			}
+		}
+	}
+	for _, r := range rules {
+		for _, h := range r.Head {
+			for _, t := range h.Args {
+				if c, ok := t.(ast.Const); ok {
+					addVal(c.Val)
+				}
+			}
+		}
+		for _, l := range r.Body {
+			for _, t := range l.Atom.Args {
+				if c, ok := t.(ast.Const); ok {
+					addVal(c.Val)
+				}
+			}
+		}
+	}
+	out := make([]value.Value, 0, len(set))
+	for _, v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// LeastModel computes the least model of the positive part of the
+// ground clauses (treating every clause as definite: first head atom;
+// callers pass reducts whose heads are singletons). given holds the
+// atoms assumed true from the start.
+func LeastModel(clauses []Clause) map[string]bool {
+	model := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range clauses {
+			if len(c.Head) != 1 || len(c.Neg) != 0 {
+				continue // not definite; caller should have reduced
+			}
+			ok := true
+			for _, p := range c.Pos {
+				if !model[p.Key()] {
+					ok = false
+					break
+				}
+			}
+			if ok && !model[c.Head[0].Key()] {
+				model[c.Head[0].Key()] = true
+				changed = true
+			}
+		}
+	}
+	return model
+}

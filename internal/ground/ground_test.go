@@ -1,0 +1,126 @@
+package ground
+
+import (
+	"strings"
+	"testing"
+
+	"idlog/internal/ast"
+	"idlog/internal/core"
+	"idlog/internal/parser"
+	"idlog/internal/value"
+)
+
+func rulesOf(t *testing.T, src string) ([]Rule, map[string]bool) {
+	t.Helper()
+	prog, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idb := map[string]bool{}
+	var rules []Rule
+	for _, c := range prog.Clauses {
+		idb[c.Head.Pred] = true
+		rules = append(rules, Rule{Head: []*ast.Atom{c.Head}, Body: c.Body})
+	}
+	return rules, idb
+}
+
+func TestGroundResolvesEDB(t *testing.T) {
+	rules, idb := rulesOf(t, `win(X) :- move(X, Y), not win(Y).`)
+	db := core.NewDatabase()
+	_ = db.AddAll("move", value.Strs("a", "b"), value.Strs("b", "a"))
+	g, err := Ground(rules, db, idb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only instances whose move-literal holds survive: (a,b) and (b,a).
+	if len(g.Clauses) != 2 {
+		t.Fatalf("clauses = %d, want 2: %+v", len(g.Clauses), g.Clauses)
+	}
+	for _, c := range g.Clauses {
+		if len(c.Pos) != 0 || len(c.Neg) != 1 || len(c.Head) != 1 {
+			t.Fatalf("clause shape wrong: %+v", c)
+		}
+	}
+	// Candidate atoms: win(a), win(b).
+	if len(g.Atoms) != 2 {
+		t.Fatalf("atoms = %v", g.Atoms)
+	}
+}
+
+func TestGroundFiltersBuiltins(t *testing.T) {
+	rules, idb := rulesOf(t, `small(X) :- num(X), X < 2.`)
+	db := core.NewDatabase()
+	_ = db.AddAll("num", value.Ints(0), value.Ints(1), value.Ints(5))
+	g, err := Ground(rules, db, idb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Clauses) != 2 {
+		t.Fatalf("clauses = %d, want 2 (0 and 1)", len(g.Clauses))
+	}
+}
+
+func TestGroundNegatedEDB(t *testing.T) {
+	rules, idb := rulesOf(t, `out(X) :- node(X), not bad(X).`)
+	db := core.NewDatabase()
+	_ = db.AddAll("node", value.Strs("a"), value.Strs("b"))
+	_ = db.Add("bad", value.Strs("b"))
+	g, err := Ground(rules, db, idb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Clauses) != 1 || g.Clauses[0].Head[0].String() != "out(a)" {
+		t.Fatalf("clauses = %+v", g.Clauses)
+	}
+}
+
+func TestGroundBudget(t *testing.T) {
+	rules, idb := rulesOf(t, `p(X, Y, Z) :- d(X), d(Y), d(Z).`)
+	db := core.NewDatabase()
+	for i := 0; i < 10; i++ {
+		_ = db.Add("d", value.Ints(int64(i)))
+	}
+	_, err := Ground(rules, db, idb, Options{MaxClauses: 50})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLeastModel(t *testing.T) {
+	// a. b :- a. c :- b, a. d :- e.
+	at := func(n string) Atom { return Atom{Pred: n} }
+	clauses := []Clause{
+		{Head: []Atom{at("a")}},
+		{Head: []Atom{at("b")}, Pos: []Atom{at("a")}},
+		{Head: []Atom{at("c")}, Pos: []Atom{at("b"), at("a")}},
+		{Head: []Atom{at("d")}, Pos: []Atom{at("e")}},
+	}
+	m := LeastModel(clauses)
+	if !m[at("a").Key()] || !m[at("b").Key()] || !m[at("c").Key()] || m[at("d").Key()] {
+		t.Fatalf("least model = %v", m)
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := Atom{Pred: "p", Tuple: value.Strs("x")}
+	if a.String() != "p(x)" {
+		t.Fatalf("String = %q", a.String())
+	}
+	prop := Atom{Pred: "q1"}
+	if prop.String() != "q1" {
+		t.Fatalf("propositional String = %q", prop.String())
+	}
+}
+
+func TestActiveDomainIncludesProgramConstants(t *testing.T) {
+	rules, idb := rulesOf(t, `p(c) :- not q(c).`)
+	g, err := Ground(rules, core.NewDatabase(), idb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q is EDB (empty), so not q(c) holds; head p(c) survives.
+	if len(g.Clauses) != 1 || g.Clauses[0].Head[0].String() != "p(c)" {
+		t.Fatalf("clauses = %+v", g.Clauses)
+	}
+}

@@ -1,0 +1,428 @@
+package inflate
+
+import (
+	"fmt"
+	"sort"
+
+	"idlog/internal/arith"
+	"idlog/internal/ast"
+	"idlog/internal/core"
+	"idlog/internal/relation"
+	"idlog/internal/symbol"
+	"idlog/internal/value"
+)
+
+// Options configures a single inflationary run.
+type Options struct {
+	// Seed drives the pseudo-random choice of which applicable
+	// instantiation fires next.
+	Seed uint64
+	// MaxSteps bounds the number of firings (0 = 1 << 20). N-DATALOG
+	// programs can oscillate; exceeding the bound is an error.
+	MaxSteps int
+}
+
+// Result of a run: the final state's relations.
+type Result struct {
+	rels map[string]*relation.Relation
+	// Steps is the number of firings performed.
+	Steps int
+}
+
+// Relation returns a final relation (nil if the predicate never
+// appeared).
+func (r *Result) Relation(name string) *relation.Relation { return r.rels[name] }
+
+// matchBody enumerates every satisfaction of the rule body in state s,
+// calling yield with the environment. Positive relational literals are
+// matched first (in source order), then interpreted literals, then
+// negations; DL/N-DATALOG bodies are required to be safe under this
+// fixed strategy.
+func matchBody(s *state, r *Rule, yield func(env map[string]value.Value) error) error {
+	var pos, mid, neg []*ast.Literal
+	for _, l := range r.Body {
+		switch {
+		case !l.Neg && !arith.IsBuiltin(l.Atom.Pred):
+			pos = append(pos, l)
+		case arith.IsBuiltin(l.Atom.Pred):
+			mid = append(mid, l)
+		default:
+			neg = append(neg, l)
+		}
+	}
+	order := append(append(pos, mid...), neg...)
+	env := map[string]value.Value{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(order) {
+			// Yield a copy: callers retain environments.
+			c := make(map[string]value.Value, len(env))
+			for k, v := range env {
+				c[k] = v
+			}
+			return yield(c)
+		}
+		l := order[i]
+		a := l.Atom
+		if b, ok := arith.Lookup(a.Pred); ok {
+			args := make([]value.Value, len(a.Args))
+			mask := make([]bool, len(a.Args))
+			for j, t := range a.Args {
+				switch t := t.(type) {
+				case ast.Const:
+					args[j], mask[j] = t.Val, true
+				case ast.Var:
+					if v, bound := env[t.Name]; bound {
+						args[j], mask[j] = v, true
+					}
+				}
+			}
+			sols, err := b.Solve(args, mask)
+			if err != nil {
+				return fmt.Errorf("inflate: %w", err)
+			}
+			if l.Neg {
+				if len(sols) == 0 {
+					return rec(i + 1)
+				}
+				return nil
+			}
+			for _, sol := range sols {
+				var newly []string
+				ok := true
+				for j, t := range a.Args {
+					if v, isVar := t.(ast.Var); isVar {
+						if old, bound := env[v.Name]; bound {
+							if !old.Equal(sol[j]) {
+								ok = false
+								break
+							}
+						} else {
+							env[v.Name] = sol[j]
+							newly = append(newly, v.Name)
+						}
+					}
+				}
+				if ok {
+					if err := rec(i + 1); err != nil {
+						return err
+					}
+				}
+				for _, n := range newly {
+					delete(env, n)
+				}
+			}
+			return nil
+		}
+		rel := s.rel(a.Pred, len(a.Args))
+		if l.Neg {
+			t := make(value.Tuple, len(a.Args))
+			for j, term := range a.Args {
+				switch term := term.(type) {
+				case ast.Const:
+					t[j] = term.Val
+				case ast.Var:
+					v, bound := env[term.Name]
+					if !bound {
+						return fmt.Errorf("inflate: unsafe negation %s: variable %s unbound", l, term.Name)
+					}
+					t[j] = v
+				}
+			}
+			if rel.Contains(t) {
+				return nil
+			}
+			return rec(i + 1)
+		}
+		for _, t := range rel.Tuples() {
+			var newly []string
+			ok := true
+			for j, term := range a.Args {
+				switch term := term.(type) {
+				case ast.Const:
+					if !t[j].Equal(term.Val) {
+						ok = false
+					}
+				case ast.Var:
+					if v, bound := env[term.Name]; bound {
+						if !v.Equal(t[j]) {
+							ok = false
+						}
+					} else {
+						env[term.Name] = t[j]
+						newly = append(newly, term.Name)
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			for _, n := range newly {
+				delete(env, n)
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// applicable collects, in stable order, every firing that would change
+// the state (or, for invented-value rules, has not fired yet).
+func (p *Program) applicable(s *state, fired map[string]bool) ([]*firing, error) {
+	var out []*firing
+	for ri, r := range p.Rules {
+		err := matchBody(s, r, func(env map[string]value.Value) error {
+			f := &firing{rule: r, env: env}
+			if len(r.invents) > 0 {
+				if fired[f.key(ri)] {
+					return nil
+				}
+				out = append(out, f)
+				return nil
+			}
+			adds, dels, ok := f.deltas(nil)
+			if !ok {
+				return nil
+			}
+			changes := false
+			for _, a := range adds {
+				if !s.rel(a.pred, len(a.tuple)).Contains(a.tuple) {
+					changes = true
+				}
+			}
+			for _, d := range dels {
+				if s.rel(d.pred, len(d.tuple)).Contains(d.tuple) {
+					changes = true
+				}
+			}
+			if changes {
+				out = append(out, f)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// apply performs the firing's additions and deletions on s.
+func (s *state) apply(adds, dels []groundAtom) {
+	for _, d := range dels {
+		r := s.rel(d.pred, len(d.tuple))
+		if r.Contains(d.tuple) {
+			nr := relation.New(d.pred, len(d.tuple))
+			for _, t := range r.Tuples() {
+				if !t.Equal(d.tuple) {
+					nr.MustInsert(t)
+				}
+			}
+			s.rels[d.pred] = nr
+		}
+	}
+	for _, a := range adds {
+		s.rel(a.pred, len(a.tuple)).MustInsert(a.tuple)
+	}
+}
+
+func freshGen() func() value.Value {
+	return func() value.Value {
+		id, _ := symbol.Default().Fresh("@new")
+		return value.Sym(id)
+	}
+}
+
+// Eval plays one non-deterministic inflationary run: while some
+// instantiation is applicable, a pseudo-random one (seeded) fires.
+func (p *Program) Eval(db *core.Database, opts Options) (*Result, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1 << 20
+	}
+	s := newState(db)
+	// Ensure head predicates exist even if never derived.
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			s.rel(h.Atom.Pred, len(h.Atom.Args))
+		}
+	}
+	fired := map[string]bool{}
+	gen := freshGen()
+	rng := opts.Seed
+	steps := 0
+	for {
+		fs, err := p.applicable(s, fired)
+		if err != nil {
+			return nil, err
+		}
+		if len(fs) == 0 {
+			return &Result{rels: s.rels, Steps: steps}, nil
+		}
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("inflate: no fixpoint within %d steps (program may oscillate)", maxSteps)
+		}
+		rng = splitmix(rng)
+		f := fs[rng%uint64(len(fs))]
+		adds, dels, ok := f.deltas(gen)
+		if !ok {
+			// Inconsistent heads are filtered in applicable(); firing
+			// with invented values cannot be inconsistent differently.
+			continue
+		}
+		for ri, r := range p.Rules {
+			if r == f.rule && len(r.invents) > 0 {
+				fired[f.key(ri)] = true
+			}
+		}
+		s.apply(adds, dels)
+		steps++
+	}
+}
+
+// Deterministic computes the deterministic inflationary fixpoint (all
+// applicable instantiations fire simultaneously each round, negation
+// evaluated against the round-start state). Only defined for DL.
+func (p *Program) Deterministic(db *core.Database, opts Options) (*Result, error) {
+	if p.Mode != DL {
+		return nil, fmt.Errorf("inflate: deterministic semantics is only defined for DL (no deletions)")
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1 << 20
+	}
+	s := newState(db)
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			s.rel(h.Atom.Pred, len(h.Atom.Args))
+		}
+	}
+	fired := map[string]bool{}
+	gen := freshGen()
+	rounds := 0
+	for {
+		fs, err := p.applicable(s, fired)
+		if err != nil {
+			return nil, err
+		}
+		if len(fs) == 0 {
+			return &Result{rels: s.rels, Steps: rounds}, nil
+		}
+		if rounds >= maxSteps {
+			return nil, fmt.Errorf("inflate: no fixpoint within %d rounds", maxSteps)
+		}
+		var adds []groundAtom
+		for _, f := range fs {
+			a, _, ok := f.deltas(gen)
+			if !ok {
+				continue
+			}
+			adds = append(adds, a...)
+			for ri, r := range p.Rules {
+				if r == f.rule && len(r.invents) > 0 {
+					fired[f.key(ri)] = true
+				}
+			}
+		}
+		s.apply(adds, nil)
+		rounds++
+	}
+}
+
+// EnumerateOptions bounds EnumerateOutcomes.
+type EnumerateOptions struct {
+	// MaxStates caps visited states (0 = 100000).
+	MaxStates int
+	// MaxSteps bounds the depth of any single path (0 = 10000).
+	MaxSteps int
+}
+
+// EnumerateOutcomes explores every reachable terminal state of the
+// non-deterministic inflationary computation and returns the distinct
+// answers over the output predicates. Programs with invented values are
+// rejected (their outcome space is infinite up to renaming).
+func (p *Program) EnumerateOutcomes(db *core.Database, preds []string, opts EnumerateOptions) ([]*core.Answer, error) {
+	for _, r := range p.Rules {
+		if len(r.invents) > 0 {
+			return nil, fmt.Errorf("inflate: cannot enumerate outcomes of a program with invented values")
+		}
+	}
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 100000
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 10000
+	}
+	visited := map[string]bool{}
+	answers := map[string]*core.Answer{}
+	var walk func(s *state, depth int) error
+	walk = func(s *state, depth int) error {
+		fp := s.fingerprint()
+		if visited[fp] {
+			return nil
+		}
+		if len(visited) >= maxStates {
+			return fmt.Errorf("inflate: state budget %d exceeded", maxStates)
+		}
+		visited[fp] = true
+		if depth > maxSteps {
+			return fmt.Errorf("inflate: path depth %d exceeded", maxSteps)
+		}
+		fs, err := p.applicable(s, nil)
+		if err != nil {
+			return err
+		}
+		if len(fs) == 0 {
+			ans := &core.Answer{Relations: map[string]*relation.Relation{}}
+			for _, q := range preds {
+				r := s.rels[q]
+				if r == nil {
+					r = relation.New(q, 0)
+				}
+				ans.Relations[q] = r
+			}
+			answers[ans.Fingerprint()] = ans
+			return nil
+		}
+		for _, f := range fs {
+			adds, dels, ok := f.deltas(nil)
+			if !ok {
+				continue
+			}
+			next := s.clone()
+			next.apply(adds, dels)
+			if err := walk(next, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(newState(db), 0); err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(answers))
+	for k := range answers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*core.Answer, len(keys))
+	for i, k := range keys {
+		out[i] = answers[k]
+	}
+	return out, nil
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,264 @@
+// Package inflate implements the two non-deterministic inflationary
+// database languages reviewed in §3.2.1 of the paper, as comparison
+// baselines for IDLOG:
+//
+//   - DL [AV88]: DATALOG with negated body literals, conjunctive heads,
+//     and invented values (head-only variables instantiated with fresh
+//     constants). Facts are only ever added.
+//   - N-DATALOG [ASV90]: additionally allows negated head literals,
+//     interpreted as deletions; an instantiation fires only if its head
+//     is consistent.
+//
+// The intended models are the outcomes of firing one instantiation at a
+// time until no instantiation changes the state; the choice of which
+// instantiation to fire is the source of non-determinism. Eval plays one
+// run (seeded), Deterministic plays the synchronous-rounds inflationary
+// fixpoint (the deterministic semantics contrasted in Example 3), and
+// EnumerateOutcomes explores every reachable terminal state on small
+// inputs.
+package inflate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"idlog/internal/arith"
+	"idlog/internal/ast"
+	"idlog/internal/core"
+	"idlog/internal/parser"
+	"idlog/internal/relation"
+	"idlog/internal/value"
+)
+
+// Mode selects the language.
+type Mode int
+
+const (
+	// DL is the declarative language of [AV88]: positive heads only.
+	DL Mode = iota
+	// NDatalog is the language of [ASV90]: negated heads delete.
+	NDatalog
+)
+
+// Rule is one generalized clause.
+type Rule struct {
+	// Head literals; in DL they must all be positive.
+	Head []*ast.Literal
+	// Body literals (atoms, negations, arithmetic).
+	Body []*ast.Literal
+	// invents lists head-only variables (computed by Validate).
+	invents []string
+}
+
+// Program is a DL or N-DATALOG program.
+type Program struct {
+	Mode  Mode
+	Rules []*Rule
+}
+
+// Parse builds a Program from source text, one rule per clause, using
+// the generalized syntax (conjunctive heads, "not" in heads for
+// N-DATALOG). Rules are validated for the chosen mode.
+func Parse(mode Mode, src string) (*Program, error) {
+	p := &Program{Mode: mode}
+	for _, chunk := range splitRules(src) {
+		if strings.TrimSpace(chunk) == "" {
+			continue
+		}
+		head, body, err := parser.RuleParts(chunk)
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, &Rule{Head: head, Body: body})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// splitRules cuts src at rule-terminating periods (a period followed by
+// whitespace/EOF), keeping the period with the rule.
+func splitRules(src string) []string {
+	var out []string
+	var cur strings.Builder
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		cur.WriteByte(c)
+		if c == '.' && (i+1 == len(src) || src[i+1] == ' ' || src[i+1] == '\n' || src[i+1] == '\t' || src[i+1] == '\r') {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	if strings.TrimSpace(cur.String()) != "" {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// Validate checks the mode's syntactic restrictions and computes
+// invented variables.
+func (p *Program) Validate() error {
+	for _, r := range p.Rules {
+		if len(r.Head) == 0 {
+			return fmt.Errorf("inflate: rule with empty head")
+		}
+		bodyVars := map[string]bool{}
+		for _, l := range r.Body {
+			if l.IsChoice() {
+				return fmt.Errorf("inflate: choice literals are not part of DL/N-DATALOG")
+			}
+			if l.Atom.IsID {
+				return fmt.Errorf("inflate: ID-literals are not part of DL/N-DATALOG")
+			}
+			if !l.Neg {
+				for _, t := range l.Atom.Args {
+					if v, ok := t.(ast.Var); ok {
+						bodyVars[v.Name] = true
+					}
+				}
+			}
+		}
+		seenInvent := map[string]bool{}
+		for _, l := range r.Head {
+			if l.IsChoice() || l.Atom.IsID {
+				return fmt.Errorf("inflate: invalid head literal %s", l)
+			}
+			if arith.IsBuiltin(l.Atom.Pred) {
+				return fmt.Errorf("inflate: interpreted predicate %s in head", l.Atom.Pred)
+			}
+			if l.Neg && p.Mode == DL {
+				return fmt.Errorf("inflate: negated head literal %s requires N-DATALOG", l)
+			}
+			for _, t := range l.Atom.Args {
+				v, ok := t.(ast.Var)
+				if !ok || bodyVars[v.Name] || seenInvent[v.Name] {
+					continue
+				}
+				if p.Mode == NDatalog {
+					// ASV90: every head variable must appear positively
+					// bound in the body.
+					return fmt.Errorf("inflate: N-DATALOG head variable %s not bound in body", v.Name)
+				}
+				seenInvent[v.Name] = true
+				r.invents = append(r.invents, v.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// state is the current instance during a run.
+type state struct {
+	rels map[string]*relation.Relation
+}
+
+func newState(db *core.Database) *state {
+	s := &state{rels: map[string]*relation.Relation{}}
+	for _, n := range db.Names() {
+		s.rels[n] = db.Relation(n).Clone()
+	}
+	return s
+}
+
+func (s *state) rel(name string, arity int) *relation.Relation {
+	r, ok := s.rels[name]
+	if !ok {
+		r = relation.New(name, arity)
+		s.rels[name] = r
+	}
+	return r
+}
+
+func (s *state) clone() *state {
+	c := &state{rels: map[string]*relation.Relation{}}
+	for n, r := range s.rels {
+		c.rels[n] = r.Clone()
+	}
+	return c
+}
+
+// fingerprint canonically identifies the state.
+func (s *state) fingerprint() string {
+	names := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, n+"="+s.rels[n].Fingerprint())
+	}
+	return strings.Join(parts, ";")
+}
+
+// firing is one applicable ground instantiation.
+type firing struct {
+	rule *Rule
+	env  map[string]value.Value
+}
+
+// key identifies the firing for the fired-once bookkeeping of rules with
+// invented values.
+func (f *firing) key(ri int) string {
+	vars := make([]string, 0, len(f.env))
+	for v := range f.env {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	fmt.Fprintf(&b, "r%d", ri)
+	for _, v := range vars {
+		fmt.Fprintf(&b, "|%s=%s", v, f.env[v])
+	}
+	return b.String()
+}
+
+// deltas computes the additions and deletions a firing would make,
+// instantiating invented variables with fresh constants drawn from gen.
+// For N-DATALOG an inconsistent head yields ok=false.
+func (f *firing) deltas(gen func() value.Value) (adds, dels []groundAtom, ok bool) {
+	env := f.env
+	inv := map[string]value.Value{}
+	for _, v := range f.rule.invents {
+		inv[v] = gen()
+	}
+	lookup := func(t ast.Term) value.Value {
+		switch t := t.(type) {
+		case ast.Const:
+			return t.Val
+		case ast.Var:
+			if val, ok := env[t.Name]; ok {
+				return val
+			}
+			return inv[t.Name]
+		}
+		return value.Value{}
+	}
+	for _, l := range f.rule.Head {
+		g := groundAtom{pred: l.Atom.Pred, tuple: make(value.Tuple, len(l.Atom.Args))}
+		for i, t := range l.Atom.Args {
+			g.tuple[i] = lookup(t)
+		}
+		if l.Neg {
+			dels = append(dels, g)
+		} else {
+			adds = append(adds, g)
+		}
+	}
+	// Consistency: no atom both added and deleted.
+	for _, a := range adds {
+		for _, d := range dels {
+			if a.pred == d.pred && a.tuple.Equal(d.tuple) {
+				return nil, nil, false
+			}
+		}
+	}
+	return adds, dels, true
+}
+
+type groundAtom struct {
+	pred  string
+	tuple value.Tuple
+}

@@ -1,0 +1,344 @@
+package inflate
+
+import (
+	"strings"
+	"testing"
+
+	"idlog/internal/core"
+	"idlog/internal/value"
+)
+
+const example3 = `
+	man(X) :- person(X), not woman(X).
+	woman(X) :- person(X), not man(X).
+`
+
+func personDB(names ...string) *core.Database {
+	db := core.NewDatabase()
+	for _, n := range names {
+		_ = db.Add("person", value.Strs(n))
+	}
+	return db
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse(DL, example3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 || len(p.Rules[0].Head) != 1 || len(p.Rules[0].Body) != 2 {
+		t.Fatalf("parsed rules = %+v", p.Rules)
+	}
+}
+
+func TestParseConjunctiveHead(t *testing.T) {
+	p, err := Parse(DL, `a(X), b(X) :- c(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules[0].Head) != 2 {
+		t.Fatalf("head = %v", p.Rules[0].Head)
+	}
+}
+
+func TestParseNegatedHeadRequiresNDatalog(t *testing.T) {
+	if _, err := Parse(DL, `not a(X) :- b(X).`); err == nil {
+		t.Fatalf("negated head accepted in DL")
+	}
+	if _, err := Parse(NDatalog, `not a(X) :- b(X).`); err != nil {
+		t.Fatalf("negated head rejected in N-DATALOG: %v", err)
+	}
+}
+
+func TestNDatalogHeadVarsMustBeBound(t *testing.T) {
+	if _, err := Parse(NDatalog, `a(X, V) :- b(X).`); err == nil {
+		t.Fatalf("unbound N-DATALOG head variable accepted")
+	}
+	// In DL the same rule is fine: V is invented.
+	p, err := Parse(DL, `a(X, V) :- b(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules[0].invents) != 1 || p.Rules[0].invents[0] != "V" {
+		t.Fatalf("invents = %v", p.Rules[0].invents)
+	}
+}
+
+func TestExample3NonDeterministicOutcomes(t *testing.T) {
+	// §3.2.1 Example 3: man(r) = {∅, {a}, {b}, {a,b}} under the
+	// non-deterministic inflationary semantics.
+	p, err := Parse(DL, example3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := p.EnumerateOutcomes(personDB("a", "b"), []string{"man"}, EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 4 {
+		t.Fatalf("outcomes = %d, want 4", len(answers))
+	}
+	sizes := map[int]int{}
+	for _, a := range answers {
+		sizes[a.Relations["man"].Len()]++
+	}
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("size distribution = %v", sizes)
+	}
+}
+
+func TestExample3EveryRunPartitionsPersons(t *testing.T) {
+	p, err := Parse(DL, example3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := personDB("a", "b", "c")
+	for seed := uint64(0); seed < 25; seed++ {
+		res, err := p.Eval(db, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		man, woman := res.Relation("man"), res.Relation("woman")
+		if man.Len()+woman.Len() != 3 {
+			t.Fatalf("seed %d: man=%v woman=%v", seed, man, woman)
+		}
+		for _, tup := range man.Tuples() {
+			if woman.Contains(tup) {
+				t.Fatalf("seed %d: %v classified both ways", seed, tup)
+			}
+		}
+	}
+}
+
+func TestExample3DeterministicContrast(t *testing.T) {
+	// Under the deterministic inflationary semantics both rules fire in
+	// round one for every person: man = woman = {(a),(b)}.
+	p, err := Parse(DL, example3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Deterministic(personDB("a", "b"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation("man").Len() != 2 || res.Relation("woman").Len() != 2 {
+		t.Fatalf("man=%v woman=%v", res.Relation("man"), res.Relation("woman"))
+	}
+}
+
+func TestRunsVaryWithSeed(t *testing.T) {
+	p, err := Parse(DL, example3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := personDB("a", "b", "c", "d")
+	fps := map[string]bool{}
+	for seed := uint64(0); seed < 40; seed++ {
+		res, err := p.Eval(db, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[res.Relation("man").Fingerprint()] = true
+	}
+	if len(fps) < 3 {
+		t.Fatalf("40 seeds gave only %d distinct outcomes", len(fps))
+	}
+}
+
+func TestNDatalogDeletion(t *testing.T) {
+	// Mark exactly the non-selected tuples: move every b-fact to c.
+	p, err := Parse(NDatalog, `c(X), not b(X) :- b(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.NewDatabase()
+	_ = db.AddAll("b", value.Strs("x"), value.Strs("y"))
+	res, err := p.Eval(db, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation("b").Len() != 0 || res.Relation("c").Len() != 2 {
+		t.Fatalf("b=%v c=%v", res.Relation("b"), res.Relation("c"))
+	}
+}
+
+func TestNDatalogInconsistentHeadNeverFires(t *testing.T) {
+	// a(X), not a(X) is inconsistent for every instantiation: no firing.
+	p, err := Parse(NDatalog, `a(X), not a(X) :- b(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.NewDatabase()
+	_ = db.Add("b", value.Strs("x"))
+	res, err := p.Eval(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 0 {
+		t.Fatalf("inconsistent head fired %d times", res.Steps)
+	}
+}
+
+func TestNDatalogOscillationDetected(t *testing.T) {
+	// flip/flop forever: a deleted then re-added.
+	p, err := Parse(NDatalog, `
+		not a(X) :- a(X), b(X).
+		a(X) :- b(X), not a(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.NewDatabase()
+	_ = db.Add("b", value.Strs("x"))
+	_ = db.Add("a", value.Strs("x"))
+	if _, err := p.Eval(db, Options{MaxSteps: 100}); err == nil {
+		t.Fatalf("oscillating program reached a fixpoint?")
+	}
+}
+
+func TestInventedValuesFireOncePerInstantiation(t *testing.T) {
+	p, err := Parse(DL, `tagged(X, V) :- item(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.NewDatabase()
+	_ = db.AddAll("item", value.Strs("i1"), value.Strs("i2"))
+	res, err := p.Eval(db, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := res.Relation("tagged")
+	if tagged.Len() != 2 {
+		t.Fatalf("tagged = %v, want one invented value per item", tagged)
+	}
+	// Invented values must be pairwise distinct and new.
+	seen := map[string]bool{}
+	for _, tup := range tagged.Tuples() {
+		v := tup[1].String()
+		if !strings.HasPrefix(v, "@new") || seen[v] {
+			t.Fatalf("bad invented value %q in %v", v, tagged)
+		}
+		seen[v] = true
+	}
+}
+
+func TestEnumerateRejectsInventedValues(t *testing.T) {
+	p, err := Parse(DL, `tagged(X, V) :- item(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.EnumerateOutcomes(core.NewDatabase(), []string{"tagged"}, EnumerateOptions{}); err == nil {
+		t.Fatalf("enumeration with invented values should be rejected")
+	}
+}
+
+func TestDeterministicRejectsNDatalog(t *testing.T) {
+	p, err := Parse(NDatalog, `not a(X) :- b(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Deterministic(core.NewDatabase(), Options{}); err == nil {
+		t.Fatalf("deterministic N-DATALOG should be rejected")
+	}
+}
+
+func TestArithmeticInBodies(t *testing.T) {
+	p, err := Parse(DL, `small(X) :- num(X), X < 3.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.NewDatabase()
+	_ = db.AddAll("num", value.Ints(1), value.Ints(5), value.Ints(2))
+	res, err := p.Eval(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation("small").Len() != 2 {
+		t.Fatalf("small = %v", res.Relation("small"))
+	}
+}
+
+func TestEnumerateMatchesIDLOGAnswerFamily(t *testing.T) {
+	// C6: the DL outcomes of Example 3 coincide with the IDLOG answers
+	// of Example 2 (both are the powerset of persons for man).
+	p, err := Parse(DL, example3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlAnswers, err := p.EnumerateOutcomes(personDB("a", "b"), []string{"man"}, EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := map[string]bool{}
+	for _, a := range dlAnswers {
+		fps[a.Relations["man"].Fingerprint()] = true
+	}
+	if len(fps) != 4 {
+		t.Fatalf("DL answer family has %d members, want 4", len(fps))
+	}
+}
+
+func TestChoiceAndIDRejected(t *testing.T) {
+	if _, err := Parse(DL, `p(X) :- q(X, Y), choice((X), (Y)).`); err == nil {
+		t.Fatalf("choice accepted")
+	}
+	if _, err := Parse(DL, `p(X) :- q[](X, T).`); err == nil {
+		t.Fatalf("ID-literal accepted")
+	}
+}
+
+func TestEnumerateOscillatorHasNoTerminalOutcome(t *testing.T) {
+	// The flip/flop program never reaches a fixpoint: the reachable
+	// state graph is a cycle with no terminal states, so the outcome
+	// set is empty (and the walk terminates thanks to state dedup).
+	p, err := Parse(NDatalog, `
+		not a(X) :- a(X), b(X).
+		a(X) :- b(X), not a(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.NewDatabase()
+	_ = db.Add("b", value.Strs("x"))
+	outcomes, err := p.EnumerateOutcomes(db, []string{"a"}, EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 0 {
+		t.Fatalf("oscillator produced %d terminal outcomes", len(outcomes))
+	}
+}
+
+func TestNDatalogEnumerateDeletionOutcomes(t *testing.T) {
+	// "Move a b-tuple to c until done": a subtlety of the
+	// one-instantiation-at-a-time semantics is that the guard fact done
+	// RACES with the second move — after the first move both "fire
+	// done" and "move the other tuple" are applicable. Hence three
+	// terminal outcomes: {x moved}, {y moved}, {both moved}.
+	p, err := Parse(NDatalog, `
+		c(X), not b(X) :- b(X), not done.
+		done :- c(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.NewDatabase()
+	_ = db.AddAll("b", value.Strs("x"), value.Strs("y"))
+	outcomes, err := p.EnumerateOutcomes(db, []string{"b", "c"}, EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 3 {
+		t.Fatalf("outcomes = %d, want 3", len(outcomes))
+	}
+	sizes := map[int]int{}
+	for _, o := range outcomes {
+		if o.Relations["b"].Len()+o.Relations["c"].Len() != 2 {
+			t.Fatalf("tuples lost: b=%v c=%v", o.Relations["b"], o.Relations["c"])
+		}
+		sizes[o.Relations["c"].Len()]++
+	}
+	if sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("outcome shape = %v, want two one-moved and one both-moved", sizes)
+	}
+}

@@ -1,0 +1,81 @@
+package parser
+
+import (
+	"testing"
+
+	"idlog/internal/analysis"
+)
+
+// FuzzProgram checks two robustness properties of the front end on
+// arbitrary byte strings: the parser never panics, and whenever it
+// accepts an input, printing and re-parsing is a fixpoint
+// (print ∘ parse ∘ print = print).
+func FuzzProgram(f *testing.F) {
+	seeds := []string{
+		"p(a).",
+		"select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2.",
+		"all_depts(D) :- emp(N, D), choice((D), (N)).",
+		"tc(X, Y) :- e(X, Y).\ntc(X, Y) :- e(X, Z), tc(Z, Y).",
+		"man(X) :- sex_guess[1](X, male, 1).",
+		"p(X) :- q(X, Z), not r(Z), add(Z, 1, W), W <= 9.",
+		"p(X) :- q[](X, T), T = 0.",
+		"q1 :- x(c).",
+		"p('quoted konst', 42).",
+		"% comment\np(a). // trailing",
+		"p(£).",
+		"p(X :- q(X).",
+		"[[[",
+		"p(X) :- choice((X), ()).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Program(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := prog.String()
+		re, err := Program(printed)
+		if err != nil {
+			t.Fatalf("reparse of printed program failed: %v\nsource: %q\nprinted: %q", err, src, printed)
+		}
+		if re.String() != printed {
+			t.Fatalf("print/parse not a fixpoint:\nsource: %q\nfirst:  %q\nsecond: %q", src, printed, re.String())
+		}
+	})
+}
+
+// FuzzAnalyze additionally pushes accepted programs through the static
+// analyzer, which must error or succeed but never panic.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		"p(X) :- q(X).",
+		"p(X) :- p[](X, T), T = 0.",
+		"win(X) :- move(X, Y), not win(Y).",
+		"p1(X, N) :- q(X, N), add(N, L, M).",
+		"s(N) :- emp[2](N, D, T), T < 2.",
+		"a:-b[]().", // regression: empty-argument ID-atom
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Program(src)
+		if err != nil {
+			return
+		}
+		hasChoice := false
+		for _, c := range prog.Clauses {
+			for _, l := range c.Body {
+				if l.IsChoice() {
+					hasChoice = true
+				}
+			}
+		}
+		if hasChoice {
+			return // analyzer rejects choice by design
+		}
+		_, _ = analysis.Analyze(prog) // must not panic
+	})
+}

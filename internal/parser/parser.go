@@ -1,0 +1,345 @@
+// Package parser turns concrete IDLOG syntax into the AST of
+// internal/ast. The grammar (see DESIGN.md §3):
+//
+//	program  := clause* EOF
+//	clause   := atom ( ":-" literal ("," literal)* )? "."
+//	literal  := "not"? (atom | comparison | choiceLit)
+//	atom     := ident idspec? "(" term ("," term)* ")" | ident
+//	idspec   := "[" (number ("," number)*)? "]"
+//	choiceLit:= "choice" "(" "(" terms? ")" "," "(" terms? ")" ")"
+//	comparison := term ("<"|"<="|">"|">="|"="|"!=") term
+//	term     := variable | ident | number
+//
+// Grouping positions inside [..] are 1-based in source (as in the paper)
+// and 0-based in the AST.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"idlog/internal/ast"
+	"idlog/internal/lexer"
+)
+
+// Error is a parse error with a source position.
+type Error struct {
+	Pos lexer.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("parse error at %s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	lx   *lexer.Lexer
+	tok  lexer.Token
+	next lexer.Token
+}
+
+func newParser(src string) *parser {
+	p := &parser{lx: lexer.New(src)}
+	p.tok = p.lx.Next()
+	p.next = p.lx.Next()
+	return p
+}
+
+func (p *parser) advance() {
+	p.tok = p.next
+	p.next = p.lx.Next()
+}
+
+func (p *parser) errf(format string, args ...any) *Error {
+	return &Error{Pos: p.tok.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	if p.tok.Kind != k {
+		return lexer.Token{}, p.errf("expected %s, found %s %q", k, p.tok.Kind, p.tok.Text)
+	}
+	t := p.tok
+	p.advance()
+	return t, nil
+}
+
+// Program parses a whole program.
+func Program(src string) (*ast.Program, error) {
+	p := newParser(src)
+	prog := &ast.Program{}
+	for p.tok.Kind != lexer.EOF {
+		c, err := p.clause()
+		if err != nil {
+			return nil, err
+		}
+		prog.Clauses = append(prog.Clauses, c)
+	}
+	return prog, nil
+}
+
+// Clause parses a single clause (for REPL-style use).
+func Clause(src string) (*ast.Clause, error) {
+	p := newParser(src)
+	c, err := p.clause()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != lexer.EOF {
+		return nil, p.errf("trailing input after clause")
+	}
+	return c, nil
+}
+
+func (p *parser) clause() (*ast.Clause, error) {
+	head, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	if head.IsID {
+		return nil, p.errf("clause head %s may not be an ID-atom", head.Pred)
+	}
+	c := &ast.Clause{Head: head}
+	switch p.tok.Kind {
+	case lexer.Period:
+		p.advance()
+		return c, nil
+	case lexer.Implies:
+		p.advance()
+	default:
+		return nil, p.errf("expected ':-' or '.' after clause head, found %s %q", p.tok.Kind, p.tok.Text)
+	}
+	for {
+		l, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		c.Body = append(c.Body, l)
+		switch p.tok.Kind {
+		case lexer.Comma:
+			p.advance()
+		case lexer.Period:
+			p.advance()
+			return c, nil
+		default:
+			return nil, p.errf("expected ',' or '.' in clause body, found %s %q", p.tok.Kind, p.tok.Text)
+		}
+	}
+}
+
+func (p *parser) literal() (*ast.Literal, error) {
+	neg := false
+	if p.tok.Kind == lexer.Ident && !p.tok.Quoted && p.tok.Text == "not" {
+		neg = true
+		p.advance()
+	}
+	if p.tok.Kind == lexer.Ident && !p.tok.Quoted && p.tok.Text == "choice" && p.next.Kind == lexer.LParen {
+		if neg {
+			return nil, p.errf("choice literals may not be negated")
+		}
+		ch, err := p.choice()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Literal{Choice: ch}, nil
+	}
+	// A literal is either an atom or an infix comparison. Distinguish by
+	// lookahead: an atom starts with Ident followed by '(' or '['; any
+	// other shape beginning with a term must be a comparison.
+	if p.tok.Kind == lexer.Ident && (p.next.Kind == lexer.LParen || p.next.Kind == lexer.LBracket) {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Literal{Neg: neg, Atom: a}, nil
+	}
+	if isTermStart(p.tok.Kind) && isCompOp(p.next.Kind) {
+		a, err := p.comparison()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Literal{Neg: neg, Atom: a}, nil
+	}
+	if p.tok.Kind == lexer.Ident && !p.tok.Quoted {
+		// Propositional atom (zero arguments).
+		a := &ast.Atom{Pred: p.tok.Text}
+		p.advance()
+		return &ast.Literal{Neg: neg, Atom: a}, nil
+	}
+	return nil, p.errf("expected a literal, found %s %q", p.tok.Kind, p.tok.Text)
+}
+
+func isTermStart(k lexer.Kind) bool {
+	return k == lexer.Ident || k == lexer.Variable || k == lexer.Number
+}
+
+func isCompOp(k lexer.Kind) bool {
+	switch k {
+	case lexer.Lt, lexer.Le, lexer.Gt, lexer.Ge, lexer.Eq, lexer.Neq:
+		return true
+	}
+	return false
+}
+
+var compPred = map[lexer.Kind]string{
+	lexer.Lt:  "lt",
+	lexer.Le:  "le",
+	lexer.Gt:  "gt",
+	lexer.Ge:  "ge",
+	lexer.Eq:  "eq",
+	lexer.Neq: "neq",
+}
+
+func (p *parser) comparison() (*ast.Atom, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	op, ok := compPred[p.tok.Kind]
+	if !ok {
+		return nil, p.errf("expected comparison operator, found %s %q", p.tok.Kind, p.tok.Text)
+	}
+	p.advance()
+	right, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Atom{Pred: op, Args: []ast.Term{left, right}}, nil
+}
+
+func (p *parser) atom() (*ast.Atom, error) {
+	if p.tok.Kind == lexer.Ident && p.tok.Quoted {
+		return nil, p.errf("quoted constant %q cannot be used as a predicate name", p.tok.Text)
+	}
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	a := &ast.Atom{Pred: name.Text}
+	if p.tok.Kind == lexer.LBracket {
+		p.advance()
+		a.IsID = true
+		a.Group = []int{}
+		for p.tok.Kind != lexer.RBracket {
+			n, err := p.expect(lexer.Number)
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.Atoi(n.Text)
+			if err != nil || v < 1 {
+				return nil, &Error{Pos: n.Pos, Msg: fmt.Sprintf("grouping position %q must be a positive integer", n.Text)}
+			}
+			a.Group = append(a.Group, v-1)
+			if p.tok.Kind == lexer.Comma {
+				p.advance()
+			} else if p.tok.Kind != lexer.RBracket {
+				return nil, p.errf("expected ',' or ']' in grouping spec, found %s %q", p.tok.Kind, p.tok.Text)
+			}
+		}
+		p.advance() // ']'
+	}
+	if p.tok.Kind != lexer.LParen {
+		if a.IsID {
+			return nil, p.errf("ID-atom %s[..] requires an argument list", a.Pred)
+		}
+		return a, nil // propositional
+	}
+	p.advance()
+	if p.tok.Kind == lexer.RParen {
+		if a.IsID {
+			return nil, p.errf("ID-atom %s[..] needs at least the tuple-identifier argument", a.Pred)
+		}
+		p.advance()
+		return a, nil
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		a.Args = append(a.Args, t)
+		switch p.tok.Kind {
+		case lexer.Comma:
+			p.advance()
+		case lexer.RParen:
+			p.advance()
+			if a.IsID {
+				base := len(a.Args) - 1
+				for _, g := range a.Group {
+					if g >= base {
+						return nil, p.errf("grouping position %d exceeds base arity %d of %s", g+1, base, a.Pred)
+					}
+				}
+			}
+			return a, nil
+		default:
+			return nil, p.errf("expected ',' or ')' in argument list, found %s %q", p.tok.Kind, p.tok.Text)
+		}
+	}
+}
+
+func (p *parser) choice() (*ast.Choice, error) {
+	p.advance() // "choice"
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	dom, err := p.termTuple()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Comma); err != nil {
+		return nil, err
+	}
+	rng, err := p.termTuple()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	if len(rng) == 0 {
+		return nil, p.errf("choice range must not be empty")
+	}
+	return &ast.Choice{Domain: dom, Range: rng}, nil
+}
+
+func (p *parser) termTuple() ([]ast.Term, error) {
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	var ts []ast.Term
+	for p.tok.Kind != lexer.RParen {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+		if p.tok.Kind == lexer.Comma {
+			p.advance()
+		} else if p.tok.Kind != lexer.RParen {
+			return nil, p.errf("expected ',' or ')' in term tuple, found %s %q", p.tok.Kind, p.tok.Text)
+		}
+	}
+	p.advance()
+	return ts, nil
+}
+
+func (p *parser) term() (ast.Term, error) {
+	switch p.tok.Kind {
+	case lexer.Variable:
+		v := ast.V(p.tok.Text)
+		p.advance()
+		return v, nil
+	case lexer.Ident:
+		c := ast.S(p.tok.Text)
+		p.advance()
+		return c, nil
+	case lexer.Number:
+		n, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("number %q out of range", p.tok.Text)
+		}
+		p.advance()
+		return ast.N(n), nil
+	default:
+		return nil, p.errf("expected a term, found %s %q", p.tok.Kind, p.tok.Text)
+	}
+}

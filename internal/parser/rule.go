@@ -1,0 +1,60 @@
+package parser
+
+import (
+	"idlog/internal/ast"
+	"idlog/internal/lexer"
+)
+
+// RuleParts parses the generalized rule syntax used by the inflationary
+// languages of §3.2.1 (DL and N-DATALOG):
+//
+//	literal ("," literal)* (":-" literal ("," literal)*)? "."
+//
+// Heads may contain several literals (DL conjunctive heads) and, for
+// N-DATALOG, negated literals (interpreted as deletions). The head may
+// not contain choice literals.
+func RuleParts(src string) (head, body []*ast.Literal, err error) {
+	p := newParser(src)
+	for {
+		l, err := p.literal()
+		if err != nil {
+			return nil, nil, err
+		}
+		if l.IsChoice() {
+			return nil, nil, p.errf("choice literal not allowed in a rule head")
+		}
+		head = append(head, l)
+		if p.tok.Kind == lexer.Comma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	switch p.tok.Kind {
+	case lexer.Period:
+		p.advance()
+	case lexer.Implies:
+		p.advance()
+		for {
+			l, err := p.literal()
+			if err != nil {
+				return nil, nil, err
+			}
+			body = append(body, l)
+			if p.tok.Kind == lexer.Comma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(lexer.Period); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, p.errf("expected ':-' or '.' after rule head, found %s %q", p.tok.Kind, p.tok.Text)
+	}
+	if p.tok.Kind != lexer.EOF {
+		return nil, nil, p.errf("trailing input after rule")
+	}
+	return head, body, nil
+}

@@ -1,0 +1,47 @@
+package relation
+
+import (
+	"sort"
+
+	"idlog/internal/value"
+)
+
+// Group is one sub-relation of a relation grouped by a set of attributes
+// (§2.1): all tuples sharing the same values on the grouping columns.
+type Group struct {
+	// Key is the projection of the members onto the grouping columns.
+	Key value.Tuple
+	// Members holds the group's tuples in canonical (sorted) order, so
+	// that ID-function oracles see a stable presentation regardless of
+	// insertion order.
+	Members []value.Tuple
+}
+
+// Groups partitions r into its sub-relations grouped by the 0-based
+// columns. Groups are returned in canonical order of their keys. An empty
+// column set yields a single group containing the whole relation (the
+// "most primitive" ID-predicate p[] of the paper's footnote 5).
+func (r *Relation) Groups(cols []int) []Group {
+	byKey := make(map[string]*Group)
+	var order []string
+	for _, t := range r.tuples {
+		k := t.ProjectKey(cols)
+		g, ok := byKey[k]
+		if !ok {
+			g = &Group{Key: t.Project(cols)}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		g.Members = append(g.Members, t)
+	}
+	out := make([]Group, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	for i := range out {
+		ms := out[i].Members
+		sort.Slice(ms, func(a, b int) bool { return ms[a].Compare(ms[b]) < 0 })
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key.Compare(out[b].Key) < 0 })
+	return out
+}

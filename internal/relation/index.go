@@ -1,0 +1,105 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+
+	"idlog/internal/value"
+)
+
+// secondary is a hash index over a subset of columns, mapping the encoded
+// projection onto those columns to the positions of matching tuples.
+type secondary struct {
+	cols    []int
+	buckets map[string][]int
+	scratch []byte
+}
+
+func (ix *secondary) add(t value.Tuple, pos int) {
+	ix.scratch = ix.scratch[:0]
+	for _, c := range ix.cols {
+		ix.scratch = value.AppendValueKey(ix.scratch, t[c])
+	}
+	bucket, ok := ix.buckets[string(ix.scratch)]
+	if !ok {
+		ix.buckets[string(ix.scratch)] = []int{pos}
+		return
+	}
+	ix.buckets[string(ix.scratch)] = append(bucket, pos)
+}
+
+func colsSig(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
+
+func sameCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureIndex builds (or fetches) the secondary index on cols. Lookup
+// is a linear scan over the relation's (few) indexes, avoiding any
+// allocation on the hot probe path.
+func (r *Relation) ensureIndex(cols []int) *secondary {
+	for _, ix := range r.indexes {
+		if sameCols(ix.cols, cols) {
+			return ix
+		}
+	}
+	ix := &secondary{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
+	for pos, t := range r.tuples {
+		ix.add(t, pos)
+	}
+	r.indexes = append(r.indexes, ix)
+	return ix
+}
+
+// Probe returns the positions of the tuples whose projection onto cols
+// equals key (a tuple of len(cols) values). An index on cols is built on
+// first use and maintained by subsequent inserts.
+func (r *Relation) Probe(cols []int, key value.Tuple) []int {
+	if len(cols) == 0 {
+		// Degenerate probe: every tuple matches.
+		all := make([]int, len(r.tuples))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	ix := r.ensureIndex(cols)
+	var buf [keyBufSize]byte
+	k := key.AppendKey(buf[:0])
+	return ix.buckets[string(k)]
+}
+
+// ProbeTuples is Probe but materializes the matching tuples.
+func (r *Relation) ProbeTuples(cols []int, key value.Tuple) []value.Tuple {
+	pos := r.Probe(cols, key)
+	out := make([]value.Tuple, len(pos))
+	for i, p := range pos {
+		out[i] = r.tuples[p]
+	}
+	return out
+}
+
+func identityCols(n int) []int {
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}

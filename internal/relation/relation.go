@@ -1,0 +1,253 @@
+// Package relation implements in-memory relations for the IDLOG engine:
+// duplicate-free tuple sets with hash lookup, lazily built secondary
+// indexes, grouping into sub-relations, and the materialization of
+// ID-relations under pluggable ID-function oracles (§2.1 of the paper).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"idlog/internal/value"
+)
+
+// Relation is a finite, duplicate-free set of same-arity tuples.
+// Iteration order (Tuples) is insertion order, which keeps deterministic
+// runs reproducible; use Sorted for a canonical order.
+//
+// A Relation is not safe for concurrent mutation.
+type Relation struct {
+	name    string
+	arity   int
+	tuples  []value.Tuple
+	primary map[string]int // tuple key -> position in tuples
+	indexes []*secondary   // lazily built column-subset indexes
+}
+
+// keyBufSize fits tuples of arity ≤ 7 on the stack (9 bytes/value);
+// longer keys spill to the heap transparently.
+const keyBufSize = 64
+
+// New returns an empty relation with the given name and arity.
+func New(name string, arity int) *Relation {
+	return &Relation{
+		name:    name,
+		arity:   arity,
+		primary: make(map[string]int),
+	}
+}
+
+// FromTuples builds a relation containing the given tuples (duplicates
+// collapse). It panics if a tuple has the wrong arity, since that is a
+// programming error in test or generator code.
+func FromTuples(name string, arity int, tuples ...value.Tuple) *Relation {
+	r := New(name, arity)
+	for _, t := range tuples {
+		r.MustInsert(t)
+	}
+	return r
+}
+
+// Name returns the relation's predicate name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds t if absent and reports whether it was added.
+// The tuple is stored as-is; callers that reuse buffers must Clone first
+// or use InsertShared.
+func (r *Relation) Insert(t value.Tuple) (bool, error) {
+	if len(t) != r.arity {
+		return false, fmt.Errorf("relation %s: inserting arity-%d tuple into arity-%d relation", r.name, len(t), r.arity)
+	}
+	var buf [keyBufSize]byte
+	key := t.AppendKey(buf[:0])
+	if _, ok := r.primary[string(key)]; ok {
+		return false, nil
+	}
+	r.store(string(key), t)
+	return true, nil
+}
+
+// InsertShared is Insert for callers that reuse t's backing array: the
+// duplicate check reads t in place and only a fresh copy is stored when
+// the tuple is new. It returns the stored tuple (nil when duplicate) so
+// callers can propagate the canonical copy.
+func (r *Relation) InsertShared(t value.Tuple) (value.Tuple, error) {
+	if len(t) != r.arity {
+		return nil, fmt.Errorf("relation %s: inserting arity-%d tuple into arity-%d relation", r.name, len(t), r.arity)
+	}
+	var buf [keyBufSize]byte
+	key := t.AppendKey(buf[:0])
+	if _, ok := r.primary[string(key)]; ok {
+		return nil, nil
+	}
+	c := t.Clone()
+	r.store(string(key), c)
+	return c, nil
+}
+
+func (r *Relation) store(key string, t value.Tuple) {
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	r.primary[key] = pos
+	for _, idx := range r.indexes {
+		idx.add(t, pos)
+	}
+}
+
+// MustInsert is Insert for static data; it panics on arity mismatch.
+func (r *Relation) MustInsert(t value.Tuple) bool {
+	added, err := r.Insert(t)
+	if err != nil {
+		panic(err)
+	}
+	return added
+}
+
+// Contains reports whether t is in the relation.
+func (r *Relation) Contains(t value.Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	var buf [keyBufSize]byte
+	key := t.AppendKey(buf[:0])
+	_, ok := r.primary[string(key)]
+	return ok
+}
+
+// Tuples returns the underlying tuple slice in insertion order. The
+// returned slice must not be mutated.
+func (r *Relation) Tuples() []value.Tuple { return r.tuples }
+
+// At returns the tuple at insertion position i.
+func (r *Relation) At(i int) value.Tuple { return r.tuples[i] }
+
+// Sorted returns a new slice of the tuples in canonical order.
+func (r *Relation) Sorted() []value.Tuple {
+	out := make([]value.Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns a deep-enough copy: tuple slices are shared (tuples are
+// immutable by convention) but the set structure is independent.
+func (r *Relation) Clone() *Relation {
+	c := New(r.name, r.arity)
+	c.tuples = append(c.tuples, r.tuples...)
+	for k, v := range r.primary {
+		c.primary[k] = v
+	}
+	return c
+}
+
+// Rename returns a shallow view of r under a different predicate name.
+func (r *Relation) Rename(name string) *Relation {
+	c := r.Clone()
+	c.name = name
+	return c
+}
+
+// Equal reports set equality with s (names are ignored).
+func (r *Relation) Equal(s *Relation) bool {
+	if r.arity != s.arity || len(r.tuples) != len(s.tuples) {
+		return false
+	}
+	for key := range r.primary {
+		if _, ok := s.primary[key]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionInto inserts every tuple of s into r, reporting how many were new.
+func (r *Relation) UnionInto(s *Relation) (int, error) {
+	if s == nil {
+		return 0, nil
+	}
+	if s.arity != r.arity {
+		return 0, fmt.Errorf("relation %s: union with arity-%d relation %s", r.name, s.arity, s.name)
+	}
+	added := 0
+	for _, t := range s.tuples {
+		ok, err := r.Insert(t)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// Project returns a new relation containing the projection of r onto the
+// given 0-based columns (duplicates collapse).
+func (r *Relation) Project(name string, cols []int) *Relation {
+	out := New(name, len(cols))
+	for _, t := range r.tuples {
+		out.MustInsert(t.Project(cols))
+	}
+	return out
+}
+
+// Filter returns a new relation with the tuples satisfying keep.
+func (r *Relation) Filter(name string, keep func(value.Tuple) bool) *Relation {
+	out := New(name, r.arity)
+	for _, t := range r.tuples {
+		if keep(t) {
+			out.MustInsert(t)
+		}
+	}
+	return out
+}
+
+// String renders the relation as "name{(..), (..)}" in canonical order;
+// intended for tests and debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.name)
+	b.WriteByte('{')
+	for i, t := range r.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Fingerprint returns a canonical string identifying the tuple set,
+// independent of insertion order. Two relations have equal fingerprints
+// iff they are set-equal. Used to deduplicate enumerated answers.
+func (r *Relation) Fingerprint() string {
+	keys := make([]string, 0, len(r.primary))
+	for k := range r.primary {
+		// Quote so that an empty relation ("") differs from a 0-arity
+		// relation containing the empty tuple (`""`).
+		keys = append(keys, strconv.Quote(k))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// DeepClone rebuilds the relation from scratch: unlike Clone, the
+// result shares no internal state (indexes, key table) with r, so it is
+// safe to hand to another goroutine. (A Relation is not safe for
+// concurrent use because secondary indexes build lazily on first probe.)
+func (r *Relation) DeepClone() *Relation {
+	c := New(r.name, r.arity)
+	for _, t := range r.tuples {
+		c.MustInsert(t.Clone())
+	}
+	return c
+}

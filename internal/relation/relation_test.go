@@ -1,0 +1,255 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"idlog/internal/value"
+)
+
+func emp() *Relation {
+	// The running example of the paper: employees with departments.
+	return FromTuples("emp", 2,
+		value.Strs("joe", "toys"),
+		value.Strs("sue", "toys"),
+		value.Strs("ann", "toys"),
+		value.Strs("bob", "shoes"),
+		value.Strs("eve", "shoes"),
+	)
+}
+
+func TestInsertDeduplicates(t *testing.T) {
+	r := New("p", 2)
+	added, err := r.Insert(value.Strs("a", "b"))
+	if err != nil || !added {
+		t.Fatalf("first insert: %v %v", added, err)
+	}
+	added, err = r.Insert(value.Strs("a", "b"))
+	if err != nil || added {
+		t.Fatalf("duplicate insert reported added=%v err=%v", added, err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestInsertArityMismatch(t *testing.T) {
+	r := New("p", 2)
+	if _, err := r.Insert(value.Strs("a")); err == nil {
+		t.Fatalf("arity mismatch not rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustInsert did not panic on arity mismatch")
+		}
+	}()
+	r.MustInsert(value.Strs("a", "b", "c"))
+}
+
+func TestContains(t *testing.T) {
+	r := emp()
+	if !r.Contains(value.Strs("joe", "toys")) {
+		t.Fatalf("missing inserted tuple")
+	}
+	if r.Contains(value.Strs("joe", "shoes")) {
+		t.Fatalf("contains absent tuple")
+	}
+	if r.Contains(value.Strs("joe")) {
+		t.Fatalf("contains tuple of wrong arity")
+	}
+}
+
+func TestEqualIgnoresOrderAndName(t *testing.T) {
+	a := FromTuples("a", 1, value.Strs("x"), value.Strs("y"))
+	b := FromTuples("b", 1, value.Strs("y"), value.Strs("x"))
+	if !a.Equal(b) {
+		t.Fatalf("set-equal relations reported unequal")
+	}
+	b.MustInsert(value.Strs("z"))
+	if a.Equal(b) {
+		t.Fatalf("different relations reported equal")
+	}
+}
+
+func TestProjectCollapsesDuplicates(t *testing.T) {
+	depts := emp().Project("depts", []int{1})
+	if depts.Len() != 2 {
+		t.Fatalf("projection has %d tuples, want 2: %v", depts.Len(), depts)
+	}
+	if !depts.Contains(value.Strs("toys")) || !depts.Contains(value.Strs("shoes")) {
+		t.Fatalf("projection content wrong: %v", depts)
+	}
+}
+
+func TestProbeFindsMatches(t *testing.T) {
+	r := emp()
+	hits := r.ProbeTuples([]int{1}, value.Strs("toys"))
+	if len(hits) != 3 {
+		t.Fatalf("probe toys: %d hits, want 3", len(hits))
+	}
+	for _, h := range hits {
+		if h[1].String() != "toys" {
+			t.Fatalf("probe returned non-matching tuple %v", h)
+		}
+	}
+	if got := r.ProbeTuples([]int{1}, value.Strs("books")); len(got) != 0 {
+		t.Fatalf("probe books: %d hits, want 0", len(got))
+	}
+}
+
+func TestProbeStaysInSyncAfterInsert(t *testing.T) {
+	r := emp()
+	_ = r.ProbeTuples([]int{1}, value.Strs("toys")) // force index build
+	r.MustInsert(value.Strs("kim", "toys"))
+	hits := r.ProbeTuples([]int{1}, value.Strs("toys"))
+	if len(hits) != 4 {
+		t.Fatalf("after insert probe returned %d hits, want 4", len(hits))
+	}
+}
+
+func TestProbeEmptyColumnsMatchesAll(t *testing.T) {
+	r := emp()
+	if got := len(r.Probe(nil, value.Tuple{})); got != r.Len() {
+		t.Fatalf("empty-column probe returned %d, want %d", got, r.Len())
+	}
+}
+
+func TestUnionInto(t *testing.T) {
+	a := FromTuples("a", 1, value.Strs("x"))
+	b := FromTuples("b", 1, value.Strs("x"), value.Strs("y"))
+	n, err := a.UnionInto(b)
+	if err != nil || n != 1 {
+		t.Fatalf("UnionInto added %d (%v), want 1", n, err)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("union result has %d tuples", a.Len())
+	}
+	if _, err := a.UnionInto(New("c", 2)); err == nil {
+		t.Fatalf("arity-mismatched union not rejected")
+	}
+	if n, err := a.UnionInto(nil); n != 0 || err != nil {
+		t.Fatalf("nil union should be a no-op")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	r := emp()
+	groups := r.Groups([]int{1})
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	// Canonical order: "shoes" < "toys".
+	if groups[0].Key.String() != "(shoes)" || groups[1].Key.String() != "(toys)" {
+		t.Fatalf("group order wrong: %v, %v", groups[0].Key, groups[1].Key)
+	}
+	if len(groups[0].Members) != 2 || len(groups[1].Members) != 3 {
+		t.Fatalf("group sizes wrong: %d, %d", len(groups[0].Members), len(groups[1].Members))
+	}
+	// Members are sorted canonically.
+	ms := groups[1].Members
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].Compare(ms[i]) >= 0 {
+			t.Fatalf("group members not sorted: %v", ms)
+		}
+	}
+}
+
+func TestGroupsEmptyColumnSet(t *testing.T) {
+	r := emp()
+	groups := r.Groups(nil)
+	if len(groups) != 1 || len(groups[0].Members) != r.Len() {
+		t.Fatalf("p[] grouping should yield one whole-relation group, got %d groups", len(groups))
+	}
+}
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a := FromTuples("a", 1, value.Strs("x"), value.Strs("y"), value.Strs("z"))
+	b := FromTuples("a", 1, value.Strs("z"), value.Strs("x"), value.Strs("y"))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints of set-equal relations differ")
+	}
+	b.MustInsert(value.Strs("w"))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("fingerprints of different relations coincide")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := emp()
+	toys := r.Filter("toys_only", func(tp value.Tuple) bool { return tp[1].Equal(value.Str("toys")) })
+	if toys.Len() != 3 {
+		t.Fatalf("filter kept %d tuples, want 3", toys.Len())
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	r := emp()
+	c := r.Clone()
+	c.MustInsert(value.Strs("new", "dept"))
+	if r.Len() == c.Len() {
+		t.Fatalf("clone shares set structure with original")
+	}
+}
+
+func TestSortedIsCanonical(t *testing.T) {
+	r := emp()
+	s := r.Sorted()
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Compare(s[i]) >= 0 {
+			t.Fatalf("Sorted not in canonical order at %d: %v", i, s)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := FromTuples("p", 1, value.Strs("b"), value.Strs("a"))
+	if got := r.String(); got != "p{(a), (b)}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randomRelation builds a relation with tuples drawn from a small domain,
+// giving a good chance of duplicate group keys.
+func randomRelation(r *rand.Rand, name string, arity, n int) *Relation {
+	rel := New(name, arity)
+	for i := 0; i < n; i++ {
+		tp := make(value.Tuple, arity)
+		for j := range tp {
+			if r.Intn(3) == 0 {
+				tp[j] = value.Int(int64(r.Intn(4)))
+			} else {
+				tp[j] = value.Str(fmt.Sprintf("c%d", r.Intn(5)))
+			}
+		}
+		rel.MustInsert(tp)
+	}
+	return rel
+}
+
+func TestGroupsPartitionProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		arity := 1 + r.Intn(3)
+		rel := randomRelation(r, "p", arity, r.Intn(30))
+		var cols []int
+		for c := 0; c < arity; c++ {
+			if r.Intn(2) == 0 {
+				cols = append(cols, c)
+			}
+		}
+		groups := rel.Groups(cols)
+		total := 0
+		for _, g := range groups {
+			total += len(g.Members)
+			for _, m := range g.Members {
+				if !m.Project(cols).Equal(g.Key) {
+					t.Fatalf("member %v not matching group key %v", m, g.Key)
+				}
+			}
+		}
+		if total != rel.Len() {
+			t.Fatalf("groups cover %d tuples, relation has %d", total, rel.Len())
+		}
+	}
+}

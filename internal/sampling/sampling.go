@@ -1,0 +1,200 @@
+// Package sampling provides the paper's flagship application (§1, §3.3):
+// sampling queries — non-deterministic queries that choose a fixed
+// number of samples from every group of a relation — expressed as IDLOG
+// programs of the form
+//
+//	sample(X1, ..., Xn) :- r[s](X1, ..., Xn, T), T < k.
+//
+// Program generates that program, Sample runs it through the engine,
+// Direct computes the same result straight from the ID-relation
+// machinery (an independent oracle used to cross-check the engine), and
+// Check verifies the sampling-query specification: the sample is a
+// subset of the base relation containing exactly min(k, |group|) tuples
+// from every group.
+package sampling
+
+import (
+	"fmt"
+
+	"idlog/internal/analysis"
+	"idlog/internal/ast"
+	"idlog/internal/core"
+	"idlog/internal/relation"
+	"idlog/internal/value"
+)
+
+// Spec describes a sampling query.
+type Spec struct {
+	// Relation is the base (input) predicate name.
+	Relation string
+	// Arity is the base predicate's arity.
+	Arity int
+	// GroupCols are the 0-based grouping columns (empty = sample from
+	// the whole relation).
+	GroupCols []int
+	// K is the number of samples per group.
+	K int
+	// Output is the head predicate name (default "sample").
+	Output string
+}
+
+func (s Spec) output() string {
+	if s.Output == "" {
+		return "sample"
+	}
+	return s.Output
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Relation == "" || s.Arity <= 0 {
+		return fmt.Errorf("sampling: relation name and positive arity required")
+	}
+	if s.K <= 0 {
+		return fmt.Errorf("sampling: K must be positive, got %d", s.K)
+	}
+	for _, c := range s.GroupCols {
+		if c < 0 || c >= s.Arity {
+			return fmt.Errorf("sampling: group column %d out of range for arity %d", c, s.Arity)
+		}
+	}
+	return nil
+}
+
+// Program generates the IDLOG sampling program for the spec:
+//
+//	out(V1, ..., Vn) :- r[s](V1, ..., Vn, T), T < k.
+//
+// For K = 1 the comparison specializes to T = 0, matching the paper's
+// one-sample examples (Example 4).
+func Program(s Spec) (*ast.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	vars := make([]ast.Term, s.Arity)
+	for i := range vars {
+		vars[i] = ast.V(fmt.Sprintf("V%d", i+1))
+	}
+	idArgs := append(append([]ast.Term{}, vars...), ast.V("T"))
+	group := append([]int{}, s.GroupCols...)
+	if group == nil {
+		group = []int{}
+	}
+	body := []*ast.Literal{
+		{Atom: &ast.Atom{Pred: s.Relation, IsID: true, Group: group, Args: idArgs}},
+	}
+	if s.K == 1 {
+		body = append(body, &ast.Literal{Atom: &ast.Atom{Pred: "eq", Args: []ast.Term{ast.V("T"), ast.N(0)}}})
+	} else {
+		body = append(body, &ast.Literal{Atom: &ast.Atom{Pred: "lt", Args: []ast.Term{ast.V("T"), ast.N(int64(s.K))}}})
+	}
+	return &ast.Program{Clauses: []*ast.Clause{{
+		Head: &ast.Atom{Pred: s.output(), Args: vars},
+		Body: body,
+	}}}, nil
+}
+
+// Sample runs the sampling program against db with a seeded random
+// oracle and returns the sample relation together with the run result.
+func Sample(s Spec, db *core.Database, seed uint64) (*relation.Relation, *core.Result, error) {
+	prog, err := Program(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := analysis.Analyze(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.Eval(info, db, core.Options{Oracle: relation.RandomOracle{Seed: seed}})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Relation(s.output()), res, nil
+}
+
+// Direct computes the sample without the logic engine: materialize the
+// ID-relation under the same oracle and keep the tuples with tid < K.
+// Given the same seed it must coincide exactly with Sample; tests use it
+// as an independent oracle for the engine.
+func Direct(s Spec, base *relation.Relation, seed uint64) (*relation.Relation, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	idr, err := relation.MaterializeID(base, s.Relation+"_id", s.GroupCols, relation.RandomOracle{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(s.output(), base.Arity())
+	tid := base.Arity()
+	for _, t := range idr.Tuples() {
+		if t[tid].Num < int64(s.K) {
+			out.MustInsert(t[:tid])
+		}
+	}
+	return out, nil
+}
+
+// Check verifies that sample satisfies the sampling-query specification
+// against the base relation: sample ⊆ base, and every group of base
+// contributes exactly min(K, |group|) tuples.
+func Check(s Spec, sample, base *relation.Relation) error {
+	for _, t := range sample.Tuples() {
+		if !base.Contains(t) {
+			return fmt.Errorf("sampling: %v not in base relation", t)
+		}
+	}
+	counts := map[string]int{}
+	for _, t := range sample.Tuples() {
+		counts[t.ProjectKey(s.GroupCols)]++
+	}
+	for _, g := range base.Groups(s.GroupCols) {
+		want := s.K
+		if len(g.Members) < want {
+			want = len(g.Members)
+		}
+		if got := counts[g.Key.Key()]; got != want {
+			return fmt.Errorf("sampling: group %v has %d samples, want %d", g.Key, got, want)
+		}
+	}
+	// No samples from phantom groups.
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != sample.Len() {
+		return fmt.Errorf("sampling: internal accounting error")
+	}
+	return nil
+}
+
+// Frequencies counts, over the given seeds, how often each base tuple is
+// selected; used to assess sampling uniformity (and by the E1
+// experiment's fairness report).
+func Frequencies(s Spec, db *core.Database, seeds []uint64) (map[string]int, error) {
+	freq := map[string]int{}
+	for _, seed := range seeds {
+		sample, _, err := Sample(s, db, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range sample.Tuples() {
+			freq[t.String()]++
+		}
+	}
+	return freq, nil
+}
+
+// EmployeeDB builds the synthetic emp(Name, Dept) workload used by the
+// paper's running examples and the E1/E2 experiments: depts departments
+// with perDept employees each.
+func EmployeeDB(depts, perDept int) *core.Database {
+	db := core.NewDatabase()
+	for d := 0; d < depts; d++ {
+		dept := value.Str(fmt.Sprintf("dept%03d", d))
+		for e := 0; e < perDept; e++ {
+			name := value.Str(fmt.Sprintf("emp%03d_%04d", d, e))
+			_ = db.Add("emp", value.Tuple{name, dept})
+		}
+	}
+	return db
+}

@@ -1,0 +1,178 @@
+package stable
+
+import (
+	"strings"
+	"testing"
+
+	"idlog/internal/analysis"
+	"idlog/internal/core"
+	"idlog/internal/parser"
+	"idlog/internal/value"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWinMoveTwoCycle(t *testing.T) {
+	// The classic non-stratified program: win(X) :- move(X,Y), not win(Y)
+	// on a 2-cycle has exactly the two stable models {win(a)}, {win(b)}.
+	p := mustParse(t, `win(X) :- move(X, Y), not win(Y).`)
+	db := core.NewDatabase()
+	_ = db.AddAll("move", value.Strs("a", "b"), value.Strs("b", "a"))
+	models, err := p.StableModels(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("models = %d, want 2", len(models))
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if len(m.Atoms) != 1 {
+			t.Fatalf("model = %v", m.Atoms)
+		}
+		seen[m.Atoms[0].String()] = true
+	}
+	if !seen["win(a)"] || !seen["win(b)"] {
+		t.Fatalf("models = %v", seen)
+	}
+}
+
+func TestWinMoveOddCycleHasNoStableModel(t *testing.T) {
+	p := mustParse(t, `win(X) :- move(X, Y), not win(Y).`)
+	db := core.NewDatabase()
+	_ = db.AddAll("move",
+		value.Strs("a", "b"), value.Strs("b", "c"), value.Strs("c", "a"))
+	models, err := p.StableModels(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 0 {
+		t.Fatalf("odd cycle has %d stable models, want 0", len(models))
+	}
+}
+
+func TestStratifiedProgramHasUniqueStableModel(t *testing.T) {
+	// For stratified programs the unique stable model is the perfect
+	// model; cross-check against the core engine.
+	src := `
+		reach(X) :- start(X).
+		reach(Y) :- reach(X), e(X, Y).
+		dead(X) :- node(X), not reach(X).
+	`
+	p := mustParse(t, src)
+	db := core.NewDatabase()
+	_ = db.AddAll("e", value.Strs("a", "b"), value.Strs("c", "c"))
+	_ = db.AddAll("node", value.Strs("a"), value.Strs("b"), value.Strs("c"))
+	_ = db.Add("start", value.Strs("a"))
+	models, err := p.StableModels(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 {
+		t.Fatalf("stratified program has %d stable models, want 1", len(models))
+	}
+	prog, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := analysis.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Eval(info, db, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range []string{"reach", "dead"} {
+		if !models[0].Relation(pred, 1).Equal(res.Relation(pred)) {
+			t.Fatalf("stable model disagrees with perfect model on %s:\n%v\n%v",
+				pred, models[0].Relation(pred, 1), res.Relation(pred))
+		}
+	}
+}
+
+func TestManWomanFamilyMatchesIDLOG(t *testing.T) {
+	// §3.2: the stable models of the non-stratified man/woman program
+	// form the same answer family as the IDLOG program of Example 2.
+	p := mustParse(t, `
+		man(X) :- person(X), not woman(X).
+		woman(X) :- person(X), not man(X).
+	`)
+	db := core.NewDatabase()
+	_ = db.AddAll("person", value.Strs("a"), value.Strs("b"))
+	models, err := p.StableModels(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 4 {
+		t.Fatalf("stable models = %d, want 4", len(models))
+	}
+	stableFPs := map[string]bool{}
+	for _, m := range models {
+		stableFPs[m.Relation("man", 1).Fingerprint()] = true
+	}
+
+	idlogProg, err := parser.Program(`
+		sex_guess(X, male) :- person(X).
+		sex_guess(X, female) :- person(X).
+		man(X) :- sex_guess[1](X, male, 1).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := analysis.Analyze(idlogProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := core.Enumerate(info, db, []string{"man"}, core.EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(models) {
+		t.Fatalf("IDLOG answers %d vs stable models %d", len(answers), len(models))
+	}
+	for _, a := range answers {
+		if !stableFPs[a.Relations["man"].Fingerprint()] {
+			t.Fatalf("IDLOG answer %v not among stable models", a.Relations["man"])
+		}
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	p := mustParse(t, `p(X) :- d(X), not q(X). q(X) :- d(X), not p(X).`)
+	db := core.NewDatabase()
+	for i := 0; i < 15; i++ {
+		_ = db.Add("d", value.Ints(int64(i)))
+	}
+	_, err := p.StableModels(db, Options{MaxAtoms: 10})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRejectsIDAndChoice(t *testing.T) {
+	if _, err := Parse(`p(X) :- q[](X, T).`); err == nil {
+		t.Fatalf("ID-literal accepted")
+	}
+	if _, err := Parse(`p(X) :- q(X, Y), choice((X), (Y)).`); err == nil {
+		t.Fatalf("choice accepted")
+	}
+}
+
+func TestFactsAreStable(t *testing.T) {
+	p := mustParse(t, "p(a).\np(b).")
+	models, err := p.StableModels(core.NewDatabase(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || len(models[0].Atoms) != 2 {
+		t.Fatalf("models = %+v", models)
+	}
+}

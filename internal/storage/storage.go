@@ -1,0 +1,197 @@
+// Package storage provides a versioned binary snapshot format for
+// databases: all relations with their tuples, written compactly with
+// varints and restored with symbols re-interned. It backs the CLI's
+// -load/-save flags and gives library users cheap persistence between
+// runs (the module is stdlib-only, so this replaces an external
+// storage engine).
+//
+// Format (all integers are uvarint unless noted):
+//
+//	magic "IDLOGDB1"
+//	relationCount
+//	per relation:
+//	  nameLen, name
+//	  arity
+//	  tupleCount
+//	  per tuple, per column:
+//	    tag byte 'u' or 'i'
+//	    'u': strLen, str (the constant's name; re-interned on load)
+//	    'i': zigzag varint (int64)
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"idlog/internal/core"
+	"idlog/internal/relation"
+	"idlog/internal/symbol"
+	"idlog/internal/value"
+)
+
+const magic = "IDLOGDB1"
+
+// maxStringLen bounds decoded string lengths as a corruption guard.
+const maxStringLen = 1 << 20
+
+// Write serializes db to w.
+func Write(w io.Writer, db *core.Database) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	names := db.Names()
+	writeUvarint(bw, uint64(len(names)))
+	for _, name := range names {
+		rel := db.Relation(name)
+		writeString(bw, name)
+		writeUvarint(bw, uint64(rel.Arity()))
+		tuples := rel.Sorted()
+		writeUvarint(bw, uint64(len(tuples)))
+		for _, t := range tuples {
+			for _, v := range t {
+				if v.IsInt() {
+					if err := bw.WriteByte('i'); err != nil {
+						return err
+					}
+					writeVarint(bw, v.Num)
+				} else {
+					if err := bw.WriteByte('u'); err != nil {
+						return err
+					}
+					writeString(bw, symbol.Name(v.Sym))
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a database from r.
+func Read(r io.Reader) (*core.Database, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("storage: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("storage: bad magic %q (not an IDLOG snapshot)", head)
+	}
+	nRels, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("storage: relation count: %w", err)
+	}
+	db := core.NewDatabase()
+	for ri := uint64(0); ri < nRels; ri++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("storage: relation name: %w", err)
+		}
+		arity, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("storage: %s arity: %w", name, err)
+		}
+		if arity > 1<<16 {
+			return nil, fmt.Errorf("storage: %s: implausible arity %d", name, arity)
+		}
+		nTuples, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("storage: %s tuple count: %w", name, err)
+		}
+		rel := relation.New(name, int(arity))
+		for ti := uint64(0); ti < nTuples; ti++ {
+			t := make(value.Tuple, arity)
+			for c := uint64(0); c < arity; c++ {
+				tag, err := br.ReadByte()
+				if err != nil {
+					return nil, fmt.Errorf("storage: %s tuple %d: %w", name, ti, err)
+				}
+				switch tag {
+				case 'i':
+					n, err := binary.ReadVarint(br)
+					if err != nil {
+						return nil, fmt.Errorf("storage: %s tuple %d: %w", name, ti, err)
+					}
+					t[c] = value.Int(n)
+				case 'u':
+					s, err := readString(br)
+					if err != nil {
+						return nil, fmt.Errorf("storage: %s tuple %d: %w", name, ti, err)
+					}
+					t[c] = value.Str(s)
+				default:
+					return nil, fmt.Errorf("storage: %s tuple %d: bad tag %q", name, ti, tag)
+				}
+			}
+			if _, err := rel.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+		db.SetRelation(name, rel)
+	}
+	return db, nil
+}
+
+// SaveFile writes db to path (atomically via a temp file + rename).
+func SaveFile(path string, db *core.Database) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, db); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a database from path.
+func LoadFile(path string) (*core.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func writeUvarint(w *bufio.Writer, n uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], n)
+	_, _ = w.Write(buf[:k])
+}
+
+func writeVarint(w *bufio.Writer, n int64) {
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutVarint(buf[:], n)
+	_, _ = w.Write(buf[:k])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	_, _ = w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

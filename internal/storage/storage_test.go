@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idlog/internal/core"
+	"idlog/internal/relation"
+	"idlog/internal/value"
+)
+
+func sampleDB() *core.Database {
+	db := core.NewDatabase()
+	_ = db.AddAll("emp",
+		value.Strs("joe", "toys"), value.Strs("sue", "shoes"))
+	_ = db.AddAll("level",
+		value.Tuple{value.Str("joe"), value.Int(3)},
+		value.Tuple{value.Str("sue"), value.Int(-7)})
+	_ = db.Add("weird", value.Tuple{value.Str("with space 'n quote"), value.Int(1 << 40)})
+	return db
+}
+
+func roundTrip(t *testing.T, db *core.Database) *core.Database {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestRoundTrip(t *testing.T) {
+	db := sampleDB()
+	back := roundTrip(t, db)
+	for _, name := range db.Names() {
+		orig, got := db.Relation(name), back.Relation(name)
+		if got == nil || !orig.Equal(got) {
+			t.Fatalf("relation %s: got %v, want %v", name, got, orig)
+		}
+	}
+	if len(back.Names()) != len(db.Names()) {
+		t.Fatalf("names = %v", back.Names())
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	back := roundTrip(t, core.NewDatabase())
+	if len(back.Names()) != 0 {
+		t.Fatalf("empty DB round-trip gained relations: %v", back.Names())
+	}
+}
+
+func TestEmptyRelationPreserved(t *testing.T) {
+	db := core.NewDatabase()
+	db.SetRelation("empty", relation.New("empty", 3))
+	back := roundTrip(t, db)
+	r := back.Relation("empty")
+	if r == nil || r.Arity() != 3 || r.Len() != 0 {
+		t.Fatalf("empty relation lost: %v", r)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOTADB00xxxx")); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+}
+
+func TestTruncatedData(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(magic), len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCorruptTag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a tag byte somewhere after the header.
+	for i := len(magic) + 4; i < len(data); i++ {
+		if data[i] == 'u' || data[i] == 'i' {
+			data[i] = 'z'
+			break
+		}
+	}
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatalf("corrupt tag accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.idb")
+	db := sampleDB()
+	if err := SaveFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Relation("emp").Equal(db.Relation("emp")) {
+		t.Fatalf("file round-trip lost data")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.idb")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestRandomRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		db := core.NewDatabase()
+		for r := 0; r < rng.Intn(4); r++ {
+			name := string(rune('a' + r))
+			arity := 1 + rng.Intn(3)
+			for i := 0; i < rng.Intn(20); i++ {
+				t1 := make(value.Tuple, arity)
+				for c := range t1 {
+					if rng.Intn(2) == 0 {
+						t1[c] = value.Int(rng.Int63() - (1 << 62))
+					} else {
+						t1[c] = value.Str(randString(rng))
+					}
+				}
+				_ = db.Add(name, t1)
+			}
+		}
+		back := roundTrip(t, db)
+		for _, name := range db.Names() {
+			if !db.Relation(name).Equal(back.Relation(name)) {
+				t.Fatalf("trial %d: relation %s differs", trial, name)
+			}
+		}
+	}
+}
+
+func randString(rng *rand.Rand) string {
+	n := rng.Intn(12)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(rune(' ' + rng.Intn(90)))
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+// Package symbol provides an interned symbol table for the uninterpreted
+// constants (sort u) of IDLOG's two-sorted universe.
+//
+// The paper (§2.1) draws u-constants from a countably infinite universal
+// domain U; at runtime every distinct constant name is interned once and
+// referenced by a dense integer ID, so tuples store fixed-size words and
+// comparisons are integer comparisons.
+//
+// A process-wide default table serves the common case; independent Table
+// values can be created for isolation (e.g. fuzzing).
+package symbol
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID is a dense handle for an interned u-constant. The zero ID is reserved
+// and never returned by Intern, so a zero Value is detectably invalid.
+type ID uint32
+
+// None is the reserved invalid symbol ID.
+const None ID = 0
+
+// Table interns strings to dense IDs. It is safe for concurrent use.
+type Table struct {
+	mu    sync.RWMutex
+	ids   map[string]ID
+	names []string // names[0] is the reserved empty slot
+}
+
+// NewTable returns an empty symbol table.
+func NewTable() *Table {
+	return &Table{
+		ids:   make(map[string]ID),
+		names: []string{""},
+	}
+}
+
+// Intern returns the ID for name, creating it if necessary.
+func (t *Table) Intern(name string) ID {
+	t.mu.RLock()
+	id, ok := t.ids[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id = ID(len(t.names))
+	t.names = append(t.names, name)
+	t.ids[name] = id
+	return id
+}
+
+// Lookup returns the ID for name without interning. ok is false if the
+// name has never been interned.
+func (t *Table) Lookup(name string) (id ID, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok = t.ids[name]
+	return id, ok
+}
+
+// Name returns the string for id. Unknown or reserved IDs yield a
+// diagnostic placeholder rather than panicking, so printers stay total.
+func (t *Table) Name(id ID) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id == None || int(id) >= len(t.names) {
+		return fmt.Sprintf("<sym:%d>", uint32(id))
+	}
+	return t.names[id]
+}
+
+// Len reports the number of interned symbols (excluding the reserved slot).
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names) - 1
+}
+
+// Fresh interns a name of the form prefix#n that is not yet present and
+// returns it. It is used for invented values (DL semantics) and for
+// gensym'd predicates in program transformations.
+func (t *Table) Fresh(prefix string) (ID, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for n := len(t.names); ; n++ {
+		name := fmt.Sprintf("%s#%d", prefix, n)
+		if _, ok := t.ids[name]; ok {
+			continue
+		}
+		id := ID(len(t.names))
+		t.names = append(t.names, name)
+		t.ids[name] = id
+		return id, name
+	}
+}
+
+var defaultTable = NewTable()
+
+// Default returns the process-wide symbol table.
+func Default() *Table { return defaultTable }
+
+// Intern interns name in the default table.
+func Intern(name string) ID { return defaultTable.Intern(name) }
+
+// Name resolves id in the default table.
+func Name(id ID) string { return defaultTable.Name(id) }

@@ -1,0 +1,125 @@
+package symbol
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternIsIdempotent(t *testing.T) {
+	tb := NewTable()
+	a := tb.Intern("alpha")
+	b := tb.Intern("beta")
+	if a == b {
+		t.Fatalf("distinct names interned to same ID %d", a)
+	}
+	if again := tb.Intern("alpha"); again != a {
+		t.Fatalf("re-interning alpha: got %d want %d", again, a)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	tb := NewTable()
+	names := []string{"a", "b", "", "with space", "日本語", "a"}
+	for _, n := range names {
+		id := tb.Intern(n)
+		if got := tb.Name(id); got != n {
+			t.Errorf("Name(Intern(%q)) = %q", n, got)
+		}
+	}
+}
+
+func TestZeroIDIsNeverIssued(t *testing.T) {
+	tb := NewTable()
+	for i := 0; i < 100; i++ {
+		if id := tb.Intern(fmt.Sprintf("s%d", i)); id == None {
+			t.Fatalf("Intern returned the reserved None ID")
+		}
+	}
+}
+
+func TestNameOfUnknownIDIsDiagnostic(t *testing.T) {
+	tb := NewTable()
+	if got := tb.Name(None); got == "" {
+		t.Errorf("Name(None) should be a diagnostic placeholder, got empty string")
+	}
+	if got := tb.Name(ID(9999)); got == "" {
+		t.Errorf("Name(out-of-range) should be a diagnostic placeholder, got empty string")
+	}
+}
+
+func TestLookupDoesNotIntern(t *testing.T) {
+	tb := NewTable()
+	if _, ok := tb.Lookup("ghost"); ok {
+		t.Fatalf("Lookup found a never-interned name")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Lookup interned a name: Len = %d", tb.Len())
+	}
+	id := tb.Intern("ghost")
+	got, ok := tb.Lookup("ghost")
+	if !ok || got != id {
+		t.Fatalf("Lookup(ghost) = %d,%v want %d,true", got, ok, id)
+	}
+}
+
+func TestFreshAvoidsCollisions(t *testing.T) {
+	tb := NewTable()
+	tb.Intern("v#1")
+	seen := make(map[string]bool)
+	for i := 0; i < 50; i++ {
+		id, name := tb.Fresh("v")
+		if seen[name] {
+			t.Fatalf("Fresh returned duplicate name %q", name)
+		}
+		seen[name] = true
+		if tb.Name(id) != name {
+			t.Fatalf("Fresh ID %d resolves to %q, want %q", id, tb.Name(id), name)
+		}
+	}
+	if seen["v#1"] {
+		t.Fatalf("Fresh reused the pre-interned name v#1")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	tb := NewTable()
+	const goroutines = 16
+	const perG = 200
+	var wg sync.WaitGroup
+	ids := make([][]ID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]ID, perG)
+			for i := 0; i < perG; i++ {
+				ids[g][i] = tb.Intern(fmt.Sprintf("name-%d", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d interned name-%d to %d, goroutine 0 got %d", g, i, ids[g][i], ids[0][i])
+			}
+		}
+	}
+	if tb.Len() != perG {
+		t.Fatalf("Len = %d, want %d", tb.Len(), perG)
+	}
+}
+
+func TestDefaultTable(t *testing.T) {
+	id := Intern("default-table-probe")
+	if Name(id) != "default-table-probe" {
+		t.Fatalf("default table round trip failed")
+	}
+	if Default() == nil {
+		t.Fatalf("Default() returned nil")
+	}
+}

@@ -1,0 +1,196 @@
+package turing
+
+import (
+	"fmt"
+
+	"idlog/internal/analysis"
+	"idlog/internal/ast"
+	"idlog/internal/core"
+	"idlog/internal/relation"
+	"idlog/internal/value"
+)
+
+// Compiled is a machine translated to a stratified IDLOG program.
+//
+// The construction mirrors the guess-and-check structure behind
+// Theorem 6: a lower stratum lays out every (step, rule) pair as the
+// relation tm_branch; the ID-literal tm_branch[1](T, Id, 0) guesses one
+// rule per step (the whole non-deterministic choice sequence at once,
+// keeping the program stratified); and a deterministic positive-
+// recursion stratum replays the machine under the guessed sequence.
+// A guessed rule that is inapplicable at its step simply stalls the
+// simulated path, so the machine accepts an input iff *some* perfect
+// model derives tm_accept — existential acceptance over the answers of
+// the non-deterministic query, exactly the NGTM acceptance notion.
+type Compiled struct {
+	// Program is the generated IDLOG program.
+	Program *ast.Program
+	// Info is the analyzed form, ready for core.Eval.
+	Info *analysis.Info
+	// AcceptPred is the 0-ary predicate derived iff the run accepts.
+	AcceptPred string
+	// StatePred holds (T, Q) pairs of the simulated path.
+	StatePred string
+	// MaxSteps and TapeSize are the simulation budgets baked into the
+	// program.
+	MaxSteps, TapeSize int
+}
+
+func lit(pred string, args ...ast.Term) *ast.Literal {
+	return &ast.Literal{Atom: &ast.Atom{Pred: pred, Args: args}}
+}
+
+func neglit(pred string, args ...ast.Term) *ast.Literal {
+	return &ast.Literal{Neg: true, Atom: &ast.Atom{Pred: pred, Args: args}}
+}
+
+func clause(head *ast.Atom, body ...*ast.Literal) *ast.Clause {
+	return &ast.Clause{Head: head, Body: body}
+}
+
+func atom(pred string, args ...ast.Term) *ast.Atom {
+	return &ast.Atom{Pred: pred, Args: args}
+}
+
+// Compile translates m into IDLOG with the given step and tape budgets.
+// The input tape is supplied at evaluation time as the EDB relation
+// tape(Pos, Sym); see TapeDB.
+func Compile(m *Machine, maxSteps, tapeSize int) (*Compiled, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if maxSteps < 1 || tapeSize < 1 {
+		return nil, fmt.Errorf("turing: budgets must be positive (maxSteps=%d tapeSize=%d)", maxSteps, tapeSize)
+	}
+	p := &ast.Program{}
+	add := func(c *ast.Clause) { p.Clauses = append(p.Clauses, c) }
+
+	T, T2, P, P2 := ast.V("T"), ast.V("T2"), ast.V("P"), ast.V("P2")
+	Q, Qn, R, W, M, S, Id := ast.V("Q"), ast.V("Qn"), ast.V("R"), ast.V("W"), ast.V("M"), ast.V("S"), ast.V("Id")
+
+	// Counters.
+	add(clause(atom("tm_time", ast.N(0))))
+	add(clause(atom("tm_time", T2),
+		lit("tm_time", T), lit("lt", T, ast.N(int64(maxSteps))), lit("succ", T, T2)))
+	add(clause(atom("tm_pos", ast.N(0))))
+	if tapeSize > 1 {
+		add(clause(atom("tm_pos", P2),
+			lit("tm_pos", P), lit("lt", P, ast.N(int64(tapeSize-1))), lit("succ", P, P2)))
+	}
+
+	// Transition table as facts.
+	for i, r := range m.Rules {
+		add(clause(atom("tm_rule",
+			ast.N(int64(i)), ast.S(r.State), ast.S(r.Read),
+			ast.S(r.NewState), ast.S(r.Write), ast.N(int64(r.Move)))))
+	}
+
+	// The guessed choice sequence: one rule id per step, via the
+	// ID-literal grouped on the step column.
+	add(clause(atom("tm_branch", T, Id),
+		lit("tm_time", T), lit("lt", T, ast.N(int64(maxSteps))),
+		lit("tm_rule", Id, Q, R, Qn, W, M)))
+	add(clause(atom("tm_pick", T, Id),
+		&ast.Literal{Atom: &ast.Atom{Pred: "tm_branch", IsID: true, Group: []int{0},
+			Args: []ast.Term{T, Id, ast.N(0)}}}))
+
+	// Initial configuration.
+	add(clause(atom("tm_state", ast.N(0), ast.S(m.Start))))
+	add(clause(atom("tm_head", ast.N(0), ast.N(0))))
+	add(clause(atom("tm_tapedom", P), lit("tape", P, S)))
+	add(clause(atom("tm_cell", ast.N(0), P, S), lit("tape", P, S), lit("tm_pos", P)))
+	add(clause(atom("tm_cell", ast.N(0), P, ast.S(m.Blank)),
+		lit("tm_pos", P), neglit("tm_tapedom", P)))
+
+	// One deterministic step under the guessed rule. tm_try matches the
+	// guessed rule against the current configuration; tm_fire addition-
+	// ally resolves the head movement, so a move that falls off the left
+	// end (succ(P2, P) unsolvable at P=0) or exceeds the tape budget
+	// (tm_pos(P2) fails) derives nothing: the transition is atomic and a
+	// dead move kills the path without a spurious state change.
+	add(clause(atom("tm_try", T, Qn, W, M, P),
+		lit("tm_state", T, Q), lit("tm_head", T, P), lit("tm_cell", T, P, R),
+		lit("tm_pick", T, Id), lit("tm_rule", Id, Q, R, Qn, W, M)))
+	add(clause(atom("tm_fire", T, Qn, W, P, P2),
+		lit("tm_try", T, Qn, W, ast.N(0), P), lit("succ", P2, P)))
+	add(clause(atom("tm_fire", T, Qn, W, P, P),
+		lit("tm_try", T, Qn, W, ast.N(1), P)))
+	add(clause(atom("tm_fire", T, Qn, W, P, P2),
+		lit("tm_try", T, Qn, W, ast.N(2), P), lit("succ", P, P2), lit("tm_pos", P2)))
+	add(clause(atom("tm_state", T2, Qn),
+		lit("tm_fire", T, Qn, W, P, P2), lit("succ", T, T2)))
+	add(clause(atom("tm_head", T2, P2),
+		lit("tm_fire", T, Qn, W, P, P2), lit("succ", T, T2)))
+	// Tape update: the written cell plus the frame axiom.
+	add(clause(atom("tm_cell", T2, P, W),
+		lit("tm_fire", T, Qn, W, P, P2), lit("succ", T, T2)))
+	add(clause(atom("tm_cell", T2, P, S),
+		lit("tm_cell", T, P, S), lit("tm_fire", T, Qn, W, ast.V("HP"), P2),
+		lit("neq", P, ast.V("HP")), lit("succ", T, T2)))
+
+	// Acceptance.
+	add(clause(atom("tm_accept"), lit("tm_state", T, ast.S(m.Accept))))
+	add(clause(atom("tm_accept_time", T), lit("tm_state", T, ast.S(m.Accept))))
+
+	info, err := analysis.Analyze(p)
+	if err != nil {
+		return nil, fmt.Errorf("turing: generated program failed analysis: %w", err)
+	}
+	return &Compiled{
+		Program:    p,
+		Info:       info,
+		AcceptPred: "tm_accept",
+		StatePred:  "tm_state",
+		MaxSteps:   maxSteps,
+		TapeSize:   tapeSize,
+	}, nil
+}
+
+// TapeDB builds the EDB holding the input tape: tape(Pos, Sym).
+func TapeDB(input []string) *core.Database {
+	db := core.NewDatabase()
+	for i, s := range input {
+		_ = db.Add("tape", value.Tuple{value.Int(int64(i)), value.Str(s)})
+	}
+	if len(input) == 0 {
+		db.SetRelation("tape", relation.New("tape", 2))
+	}
+	return db
+}
+
+// EvalPath runs the compiled program under one oracle (one guessed
+// choice sequence) and reports whether that path accepts.
+func (c *Compiled) EvalPath(db *core.Database, oracle relation.Oracle) (bool, *core.Result, error) {
+	res, err := core.Eval(c.Info, db, core.Options{Oracle: oracle})
+	if err != nil {
+		return false, nil, err
+	}
+	return res.Relation(c.AcceptPred).Len() > 0, res, nil
+}
+
+// AcceptanceSummary is the outcome of enumerating every guessed choice
+// sequence.
+type AcceptanceSummary struct {
+	// Answers is the number of distinct answers of the query
+	// (tm_accept, tm_state).
+	Answers int
+	// Accepting is how many of those answers derive tm_accept.
+	Accepting int
+}
+
+// Accepts reports whether some perfect model derives tm_accept,
+// enumerating the guessed sequences (exponential; small budgets only).
+func (c *Compiled) Accepts(db *core.Database, maxRuns int) (bool, AcceptanceSummary, error) {
+	answers, err := core.Enumerate(c.Info, db, []string{c.AcceptPred, c.StatePred},
+		core.EnumerateOptions{MaxRuns: maxRuns})
+	if err != nil {
+		return false, AcceptanceSummary{}, err
+	}
+	sum := AcceptanceSummary{Answers: len(answers)}
+	for _, a := range answers {
+		if a.Relations[c.AcceptPred].Len() > 0 {
+			sum.Accepting++
+		}
+	}
+	return sum.Accepting > 0, sum, nil
+}

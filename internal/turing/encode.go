@@ -1,0 +1,161 @@
+package turing
+
+import (
+	"fmt"
+	"sort"
+
+	"idlog/internal/core"
+	"idlog/internal/relation"
+	"idlog/internal/value"
+)
+
+// Database-to-tape encoding in the style of the generic Turing machines
+// of [HS89] (§3.1 of the paper): each uninterpreted constant of the
+// u-domain is encoded as a fixed-width binary string of 0s and 1s, each
+// tuple is bracketed with '[' and ']' with ',' separating fields, each
+// relation is wrapped in '(' and ')' preceded by its name's index, and
+// sort-i values are encoded in binary with a leading '#'. The encoding
+// deliberately fixes an *order* (sorted), which a generic TM must not
+// exploit; the machine-facing contract (operation independent of the
+// constant encoding and the presentation order) is a property of the
+// machines, checked in tests by permuting the domain.
+
+// Distinguished tape symbols used by the encoding.
+const (
+	SymZero   = "0"
+	SymOne    = "1"
+	SymComma  = ","
+	SymLParen = "("
+	SymRParen = ")"
+	SymLBrack = "["
+	SymRBrack = "]"
+	SymHash   = "#"
+)
+
+// DomainEncoder assigns binary codewords to u-constants.
+type DomainEncoder struct {
+	width int
+	codes map[string]string
+}
+
+// NewDomainEncoder builds an encoder for the given constants (sorted
+// internally; the width is ceil(log2(n)) with a 1-bit minimum).
+func NewDomainEncoder(consts []string) *DomainEncoder {
+	sorted := append([]string(nil), consts...)
+	sort.Strings(sorted)
+	width := 1
+	for (1 << width) < len(sorted) {
+		width++
+	}
+	e := &DomainEncoder{width: width, codes: map[string]string{}}
+	for i, c := range sorted {
+		e.codes[c] = binString(i, width)
+	}
+	return e
+}
+
+func binString(n, width int) string {
+	buf := make([]byte, width)
+	for i := width - 1; i >= 0; i-- {
+		if n&1 == 1 {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+		n >>= 1
+	}
+	return string(buf)
+}
+
+// Width returns the codeword width in bits.
+func (e *DomainEncoder) Width() int { return e.width }
+
+// Encode returns the codeword for a constant; unknown constants error.
+func (e *DomainEncoder) Encode(c string) (string, error) {
+	s, ok := e.codes[c]
+	if !ok {
+		return "", fmt.Errorf("turing: constant %q not in encoded domain", c)
+	}
+	return s, nil
+}
+
+// appendBits writes a codeword's bits as tape symbols.
+func appendBits(tape []string, bits string) []string {
+	for i := 0; i < len(bits); i++ {
+		tape = append(tape, string(bits[i]))
+	}
+	return tape
+}
+
+// EncodeValue appends the tape encoding of one value.
+func (e *DomainEncoder) EncodeValue(tape []string, v value.Value) ([]string, error) {
+	if v.IsInt() {
+		tape = append(tape, SymHash)
+		if v.Num < 0 {
+			return nil, fmt.Errorf("turing: cannot encode negative number %d", v.Num)
+		}
+		if v.Num == 0 {
+			return append(tape, SymZero), nil
+		}
+		var bits []byte
+		for n := v.Num; n > 0; n >>= 1 {
+			bits = append([]byte{byte('0' + n&1)}, bits...)
+		}
+		return appendBits(tape, string(bits)), nil
+	}
+	code, err := e.Encode(v.String())
+	if err != nil {
+		return nil, err
+	}
+	return appendBits(tape, code), nil
+}
+
+// EncodeRelation appends "( [t11,t12] [t21,t22] ... )" for the relation
+// in canonical tuple order.
+func (e *DomainEncoder) EncodeRelation(tape []string, r *relation.Relation) ([]string, error) {
+	tape = append(tape, SymLParen)
+	for _, t := range r.Sorted() {
+		tape = append(tape, SymLBrack)
+		for i, v := range t {
+			if i > 0 {
+				tape = append(tape, SymComma)
+			}
+			var err error
+			tape, err = e.EncodeValue(tape, v)
+			if err != nil {
+				return nil, err
+			}
+		}
+		tape = append(tape, SymRBrack)
+	}
+	return append(tape, SymRParen), nil
+}
+
+// EncodeDatabase lays a whole database onto a tape: relations in sorted
+// name order. It also returns the encoder so callers can decode.
+func EncodeDatabase(db *core.Database) ([]string, *DomainEncoder, error) {
+	domain := map[string]bool{}
+	for _, name := range db.Names() {
+		for _, t := range db.Relation(name).Tuples() {
+			for _, v := range t {
+				if !v.IsInt() {
+					domain[v.String()] = true
+				}
+			}
+		}
+	}
+	consts := make([]string, 0, len(domain))
+	for c := range domain {
+		consts = append(consts, c)
+	}
+	enc := NewDomainEncoder(consts)
+	var tape []string
+	var err error
+	for _, name := range db.Names() {
+		tape, err = enc.EncodeRelation(tape, db.Relation(name))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return tape, enc, nil
+}

@@ -1,0 +1,296 @@
+// Package turing provides the machinery behind §5 of the paper (the
+// expressive power of non-deterministic IDLOG): a non-deterministic
+// Turing machine simulator, a binary encoding of databases onto tapes in
+// the style of generic TMs [HS89], and a compiler from machines to
+// stratified IDLOG programs following the guess-and-check structure of
+// the Theorem-6 construction — an ID-literal guesses the whole choice
+// sequence up front, and a deterministic positive-recursion stratum
+// verifies the run.
+package turing
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Move is a head movement.
+type Move int
+
+// Head movements.
+const (
+	Left Move = iota
+	Stay
+	Right
+)
+
+// String implements fmt.Stringer.
+func (m Move) String() string {
+	switch m {
+	case Left:
+		return "L"
+	case Stay:
+		return "S"
+	case Right:
+		return "R"
+	default:
+		return fmt.Sprintf("Move(%d)", int(m))
+	}
+}
+
+// Rule is one transition: in state State reading Read, switch to
+// NewState, write Write, move the head.
+type Rule struct {
+	State, Read     string
+	NewState, Write string
+	Move            Move
+}
+
+// Machine is a (possibly non-deterministic) single-tape Turing machine.
+// The tape is bounded on the left at cell 0 (a move left from cell 0
+// kills the computation path) and unbounded to the right up to the
+// simulator's tape budget.
+type Machine struct {
+	// Start is the initial state.
+	Start string
+	// Accept is the accepting state; reaching it halts the path.
+	Accept string
+	// Blank is the blank tape symbol.
+	Blank string
+	// Rules is the transition table.
+	Rules []Rule
+}
+
+// Validate checks structural well-formedness.
+func (m *Machine) Validate() error {
+	if m.Start == "" || m.Accept == "" || m.Blank == "" {
+		return fmt.Errorf("turing: Start, Accept and Blank are required")
+	}
+	if len(m.Rules) == 0 {
+		return fmt.Errorf("turing: machine has no rules")
+	}
+	for i, r := range m.Rules {
+		if r.State == "" || r.Read == "" || r.NewState == "" || r.Write == "" {
+			return fmt.Errorf("turing: rule %d has empty fields", i)
+		}
+		if r.Move < Left || r.Move > Right {
+			return fmt.Errorf("turing: rule %d has invalid move %d", i, r.Move)
+		}
+		if r.State == m.Accept {
+			return fmt.Errorf("turing: rule %d leaves the accepting state", i)
+		}
+	}
+	return nil
+}
+
+// Deterministic reports whether at most one rule applies to every
+// (state, symbol) pair.
+func (m *Machine) Deterministic() bool {
+	seen := map[[2]string]bool{}
+	for _, r := range m.Rules {
+		k := [2]string{r.State, r.Read}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}
+
+// Alphabet returns every tape symbol mentioned by the machine, sorted.
+func (m *Machine) Alphabet() []string {
+	set := map[string]bool{m.Blank: true}
+	for _, r := range m.Rules {
+		set[r.Read] = true
+		set[r.Write] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// States returns every state mentioned, sorted.
+func (m *Machine) States() []string {
+	set := map[string]bool{m.Start: true, m.Accept: true}
+	for _, r := range m.Rules {
+		set[r.State] = true
+		set[r.NewState] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Config is an instantaneous description.
+type Config struct {
+	State string
+	Head  int
+	Tape  []string // Tape[i] = symbol at cell i; cells beyond are Blank
+}
+
+// clone copies the configuration.
+func (c Config) clone() Config {
+	t := make([]string, len(c.Tape))
+	copy(t, c.Tape)
+	return Config{State: c.State, Head: c.Head, Tape: t}
+}
+
+// symbol reads the tape with blank padding.
+func (c Config) symbol(blank string, i int) string {
+	if i < len(c.Tape) {
+		return c.Tape[i]
+	}
+	return blank
+}
+
+// Key canonically identifies the configuration (trailing blanks
+// ignored).
+func (c Config) Key(blank string) string {
+	end := len(c.Tape)
+	for end > 0 && c.Tape[end-1] == blank {
+		end--
+	}
+	s := fmt.Sprintf("%s|%d|", c.State, c.Head)
+	for _, sym := range c.Tape[:end] {
+		s += sym + ","
+	}
+	return s
+}
+
+// Initial builds the starting configuration for an input tape.
+func (m *Machine) Initial(input []string) Config {
+	t := make([]string, len(input))
+	copy(t, input)
+	return Config{State: m.Start, Head: 0, Tape: t}
+}
+
+// ApplicableRules returns the indices of rules applicable in c.
+func (m *Machine) ApplicableRules(c Config) []int {
+	sym := c.symbol(m.Blank, c.Head)
+	var out []int
+	for i, r := range m.Rules {
+		if r.State == c.State && r.Read == sym {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Apply fires rule ri in c, returning the successor configuration.
+// ok is false when the move would fall off the left end (the path dies)
+// or the rule is not applicable.
+func (m *Machine) Apply(c Config, ri int) (Config, bool) {
+	r := m.Rules[ri]
+	if r.State != c.State || r.Read != c.symbol(m.Blank, c.Head) {
+		return Config{}, false
+	}
+	n := c.clone()
+	for len(n.Tape) <= n.Head {
+		n.Tape = append(n.Tape, m.Blank)
+	}
+	n.Tape[n.Head] = r.Write
+	n.State = r.NewState
+	switch r.Move {
+	case Left:
+		if n.Head == 0 {
+			return Config{}, false
+		}
+		n.Head--
+	case Right:
+		n.Head++
+	}
+	return n, true
+}
+
+// RunResult reports a single simulated path.
+type RunResult struct {
+	Accepted bool
+	Steps    int
+	Final    Config
+	// Choices records, per step, which applicable-rule index was taken.
+	Choices []int
+}
+
+// Run simulates one path. choose selects among the applicable rules at
+// each step (it receives their count and returns an index); nil always
+// picks the first, which makes deterministic machines run directly.
+func (m *Machine) Run(input []string, maxSteps int, choose func(step, n int) int) RunResult {
+	c := m.Initial(input)
+	res := RunResult{}
+	for step := 0; step < maxSteps; step++ {
+		if c.State == m.Accept {
+			res.Accepted = true
+			break
+		}
+		app := m.ApplicableRules(c)
+		if len(app) == 0 {
+			break
+		}
+		pick := 0
+		if choose != nil {
+			pick = choose(step, len(app))
+			if pick < 0 || pick >= len(app) {
+				pick = 0
+			}
+		}
+		next, ok := m.Apply(c, app[pick])
+		if !ok {
+			break
+		}
+		res.Choices = append(res.Choices, pick)
+		res.Steps++
+		c = next
+	}
+	if c.State == m.Accept {
+		res.Accepted = true
+	}
+	res.Final = c
+	return res
+}
+
+// Accepts explores the configuration graph breadth-first and reports
+// whether some path reaches the accepting state within maxSteps steps.
+// It also returns the number of distinct configurations visited.
+func (m *Machine) Accepts(input []string, maxSteps int) (bool, int) {
+	start := m.Initial(input)
+	frontier := []Config{start}
+	visited := map[string]bool{start.Key(m.Blank): true}
+	for step := 0; step <= maxSteps; step++ {
+		var next []Config
+		for _, c := range frontier {
+			if c.State == m.Accept {
+				return true, len(visited)
+			}
+			if step == maxSteps {
+				continue
+			}
+			for _, ri := range m.ApplicableRules(c) {
+				n, ok := m.Apply(c, ri)
+				if !ok {
+					continue
+				}
+				k := n.Key(m.Blank)
+				if !visited[k] {
+					visited[k] = true
+					next = append(next, n)
+				}
+			}
+		}
+		if len(next) == 0 && step < maxSteps {
+			// Also scan remaining frontier for acceptance.
+			for _, c := range frontier {
+				if c.State == m.Accept {
+					return true, len(visited)
+				}
+			}
+			return false, len(visited)
+		}
+		frontier = next
+	}
+	return false, len(visited)
+}

@@ -1,0 +1,354 @@
+package turing
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"idlog/internal/relation"
+	"idlog/internal/value"
+)
+
+const blank = "_"
+
+// flipMachine is deterministic: it flips 0s and 1s left to right and
+// accepts upon reaching the first blank.
+func flipMachine() *Machine {
+	return &Machine{
+		Start: "s", Accept: "acc", Blank: blank,
+		Rules: []Rule{
+			{State: "s", Read: "0", NewState: "s", Write: "1", Move: Right},
+			{State: "s", Read: "1", NewState: "s", Write: "0", Move: Right},
+			{State: "s", Read: blank, NewState: "acc", Write: blank, Move: Stay},
+		},
+	}
+}
+
+// containsOneMachine is genuinely non-deterministic: in state g on a 1
+// it may either keep scanning or accept.
+func containsOneMachine() *Machine {
+	return &Machine{
+		Start: "g", Accept: "acc", Blank: blank,
+		Rules: []Rule{
+			{State: "g", Read: "0", NewState: "g", Write: "0", Move: Right},
+			{State: "g", Read: "1", NewState: "g", Write: "1", Move: Right},
+			{State: "g", Read: "1", NewState: "acc", Write: "1", Move: Stay},
+		},
+	}
+}
+
+func tape(s string) []string {
+	out := make([]string, len(s))
+	for i := range s {
+		out[i] = string(s[i])
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	m := flipMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Machine{Start: "s", Accept: "acc", Blank: blank,
+		Rules: []Rule{{State: "acc", Read: "0", NewState: "s", Write: "0", Move: Stay}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("rule leaving accept state not rejected")
+	}
+	if err := (&Machine{}).Validate(); err == nil {
+		t.Fatalf("empty machine not rejected")
+	}
+}
+
+func TestDeterministicDetection(t *testing.T) {
+	if !flipMachine().Deterministic() {
+		t.Fatalf("flip machine should be deterministic")
+	}
+	if containsOneMachine().Deterministic() {
+		t.Fatalf("contains-one machine should be non-deterministic")
+	}
+}
+
+func TestAlphabetAndStates(t *testing.T) {
+	m := flipMachine()
+	if got := m.Alphabet(); len(got) != 3 {
+		t.Fatalf("alphabet = %v", got)
+	}
+	if got := m.States(); len(got) != 2 {
+		t.Fatalf("states = %v", got)
+	}
+}
+
+func TestFlipMachineRun(t *testing.T) {
+	m := flipMachine()
+	res := m.Run(tape("0110"), 20, nil)
+	if !res.Accepted || res.Steps != 5 {
+		t.Fatalf("run = %+v", res)
+	}
+	got := strings.Join(res.Final.Tape[:4], "")
+	if got != "1001" {
+		t.Fatalf("final tape = %q, want 1001", got)
+	}
+}
+
+func TestRunRespectsMaxSteps(t *testing.T) {
+	m := flipMachine()
+	res := m.Run(tape("000000"), 3, nil)
+	if res.Accepted || res.Steps != 3 {
+		t.Fatalf("run = %+v", res)
+	}
+}
+
+func TestLeftEdgeKillsPath(t *testing.T) {
+	m := &Machine{Start: "s", Accept: "acc", Blank: blank,
+		Rules: []Rule{
+			{State: "s", Read: "0", NewState: "t", Write: "0", Move: Left},
+			{State: "t", Read: "0", NewState: "acc", Write: "0", Move: Stay},
+		}}
+	res := m.Run(tape("00"), 10, nil)
+	if res.Accepted {
+		t.Fatalf("left move at cell 0 should kill the path")
+	}
+	ok, _ := m.Accepts(tape("00"), 10)
+	if ok {
+		t.Fatalf("BFS acceptance should agree")
+	}
+}
+
+func TestBFSAcceptance(t *testing.T) {
+	m := containsOneMachine()
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"0001", true}, {"1", true}, {"0000", false}, {"", false}, {"010", true},
+	}
+	for _, c := range cases {
+		got, _ := m.Accepts(tape(c.in), 10)
+		if got != c.want {
+			t.Fatalf("Accepts(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNondeterministicChoicesExplored(t *testing.T) {
+	m := containsOneMachine()
+	// The always-first chooser keeps scanning and never accepts "10".
+	res := m.Run(tape("10"), 10, func(step, n int) int { return 0 })
+	if res.Accepted {
+		t.Fatalf("first-choice path should scan past the 1")
+	}
+	// The always-last chooser accepts at the first 1.
+	res = m.Run(tape("10"), 10, func(step, n int) int { return n - 1 })
+	if !res.Accepted || res.Steps != 1 {
+		t.Fatalf("last-choice path = %+v", res)
+	}
+}
+
+func TestCompileFlipAcceptance(t *testing.T) {
+	m := flipMachine()
+	c, err := Compile(m, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, sum, err := c.Accepts(TapeDB(tape("01")), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("compiled flip machine rejects 01 (summary %+v)", sum)
+	}
+	// Too few steps: cannot reach the blank.
+	c2, err := Compile(m, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err = c2.Accepts(TapeDB(tape("01")), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("compiled machine accepted with insufficient step budget")
+	}
+}
+
+func TestCompiledMatchesBFSOnContainsOne(t *testing.T) {
+	m := containsOneMachine()
+	for _, in := range []string{"1", "01", "00", "10", ""} {
+		c, err := Compile(m, 4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOK, _ := m.Accepts(tape(in), 4)
+		gotOK, _, err := c.Accepts(TapeDB(tape(in)), 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOK != wantOK {
+			t.Fatalf("input %q: compiled=%v direct=%v", in, gotOK, wantOK)
+		}
+	}
+}
+
+func TestCompiledSinglePathIsDeterministicReplay(t *testing.T) {
+	// For a deterministic machine, a guessed sequence either replays the
+	// real run or stalls early; the SortedOracle path must agree with
+	// the direct simulator when it picks applicable rules.
+	m := flipMachine()
+	c, err := Compile(m, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := c.EvalPath(TapeDB(tape("01")), relation.SortedOracle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the guessed sequence, every derived tm_state fact must
+	// lie on the deterministic trajectory.
+	direct := m.Run(tape("01"), 6, nil)
+	_ = direct
+	states := res.Relation("tm_state")
+	for _, tup := range states.Tuples() {
+		step := tup[0].Num
+		if step > int64(direct.Steps)+1 {
+			t.Fatalf("tm_state reaches step %d beyond the %d-step run", step, direct.Steps)
+		}
+	}
+}
+
+func TestCompileRejectsBadBudgets(t *testing.T) {
+	if _, err := Compile(flipMachine(), 0, 5); err == nil {
+		t.Fatalf("zero step budget accepted")
+	}
+	if _, err := Compile(flipMachine(), 5, 0); err == nil {
+		t.Fatalf("zero tape budget accepted")
+	}
+}
+
+func TestCompiledRandomMachinesAgreeWithBFS(t *testing.T) {
+	// Property: for random small machines and inputs, compiled
+	// existential acceptance equals BFS acceptance at the same budget.
+	rng := rand.New(rand.NewSource(42))
+	symbols := []string{"0", "1"}
+	states := []string{"s", "t"}
+	for trial := 0; trial < 12; trial++ {
+		var rules []Rule
+		for len(rules) < 3 {
+			rules = append(rules, Rule{
+				State:    states[rng.Intn(len(states))],
+				Read:     append(symbols, blank)[rng.Intn(3)],
+				NewState: append(states, "acc")[rng.Intn(3)],
+				Write:    symbols[rng.Intn(len(symbols))],
+				Move:     Move(rng.Intn(3)),
+			})
+		}
+		m := &Machine{Start: "s", Accept: "acc", Blank: blank, Rules: rules}
+		if err := m.Validate(); err != nil {
+			continue
+		}
+		in := ""
+		for i := 0; i < rng.Intn(3); i++ {
+			in += symbols[rng.Intn(2)]
+		}
+		const steps = 3
+		c, err := Compile(m, steps, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOK, _ := m.Accepts(tape(in), steps)
+		gotOK, _, err := c.Accepts(TapeDB(tape(in)), 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOK != wantOK {
+			t.Fatalf("trial %d input %q machine %+v: compiled=%v direct=%v",
+				trial, in, m.Rules, gotOK, wantOK)
+		}
+	}
+}
+
+func TestDomainEncoder(t *testing.T) {
+	e := NewDomainEncoder([]string{"c", "a", "b"})
+	if e.Width() != 2 {
+		t.Fatalf("width = %d", e.Width())
+	}
+	ca, _ := e.Encode("a")
+	cb, _ := e.Encode("b")
+	if ca == cb {
+		t.Fatalf("codes collide")
+	}
+	if _, err := e.Encode("zz"); err == nil {
+		t.Fatalf("unknown constant not rejected")
+	}
+}
+
+func TestEncodeDatabaseStructure(t *testing.T) {
+	db := TapeDB(nil)
+	_ = db.AddAll("emp", value.Strs("joe", "toys"), value.Strs("sue", "toys"))
+	tp, enc, err := EncodeDatabase(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, s := range tp {
+		counts[s]++
+	}
+	// Two relations on the tape (tape itself is empty but still wrapped).
+	if counts[SymLParen] != 2 || counts[SymRParen] != 2 {
+		t.Fatalf("paren structure wrong: %v", tp)
+	}
+	if counts[SymLBrack] != 2 || counts[SymRBrack] != 2 {
+		t.Fatalf("tuple bracket structure wrong: %v", tp)
+	}
+	if counts[SymComma] != 2 {
+		t.Fatalf("separator count wrong: %v", tp)
+	}
+	if enc.Width() != 2 { // domain {joe, sue, toys} needs 2 bits
+		t.Fatalf("width = %d", enc.Width())
+	}
+}
+
+func TestEncodingGenericityUnderRenaming(t *testing.T) {
+	// Renaming the u-domain (a permutation fixing nothing) must preserve
+	// the tape's structure: same length, same positions of punctuation.
+	db1 := TapeDB(nil)
+	_ = db1.AddAll("r", value.Strs("x", "y"), value.Strs("y", "z"))
+	db2 := TapeDB(nil)
+	_ = db2.AddAll("r", value.Strs("p", "q"), value.Strs("q", "w"))
+	t1, _, err := EncodeDatabase(db1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := EncodeDatabase(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != len(t2) {
+		t.Fatalf("tape lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		p1 := t1[i] == SymLParen || t1[i] == SymRParen || t1[i] == SymLBrack || t1[i] == SymRBrack || t1[i] == SymComma
+		p2 := t2[i] == SymLParen || t2[i] == SymRParen || t2[i] == SymLBrack || t2[i] == SymRBrack || t2[i] == SymComma
+		if p1 != p2 {
+			t.Fatalf("punctuation positions differ at %d", i)
+		}
+	}
+}
+
+func TestEncodeIntegers(t *testing.T) {
+	e := NewDomainEncoder(nil)
+	tp, err := e.EncodeValue(nil, value.Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(tp, "") != "#101" {
+		t.Fatalf("encoding of 5 = %v", tp)
+	}
+	tp, err = e.EncodeValue(nil, value.Int(0))
+	if err != nil || strings.Join(tp, "") != "#0" {
+		t.Fatalf("encoding of 0 = %v (%v)", tp, err)
+	}
+	if _, err := e.EncodeValue(nil, value.Int(-1)); err == nil {
+		t.Fatalf("negative encoding accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Package wellfounded implements the well-founded semantics of Van
+// Gelder, Ross & Schlipf [VGRS88] — cited by the paper as one of the
+// declarative semantics proposals for logic programs with negation
+// (§2.2) — via the classic alternating-fixpoint construction on the
+// ground program.
+//
+// The well-founded model is three-valued: atoms are true, false, or
+// undefined. It relates to the other semantics in this repository as
+// follows (verified by tests):
+//
+//   - on stratified programs it is total and equals the perfect model
+//     computed by the core engine;
+//   - every well-founded-true atom belongs to every stable model and no
+//     stable model contains a well-founded-false atom;
+//   - genuinely non-deterministic programs (the win/move 2-cycle, the
+//     man/woman program) leave the contested atoms undefined — which is
+//     precisely why the paper needs a non-deterministic construct (the
+//     ID-literal) rather than a finer deterministic semantics.
+package wellfounded
+
+import (
+	"fmt"
+	"sort"
+
+	"idlog/internal/ast"
+	"idlog/internal/core"
+	"idlog/internal/ground"
+	"idlog/internal/parser"
+	"idlog/internal/relation"
+)
+
+// Program is a DATALOG¬ program under well-founded semantics.
+type Program struct {
+	rules []ground.Rule
+	idb   map[string]bool
+	arity map[string]int
+}
+
+// Parse builds a Program from ordinary clause syntax.
+func Parse(src string) (*Program, error) {
+	prog, err := parser.Program(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{idb: map[string]bool{}, arity: map[string]int{}}
+	for _, c := range prog.Clauses {
+		for _, l := range c.Body {
+			if l.IsChoice() || l.Atom.IsID {
+				return nil, fmt.Errorf("wellfounded: unsupported literal in %q", c)
+			}
+		}
+		p.rules = append(p.rules, ground.Rule{Head: []*ast.Atom{c.Head}, Body: c.Body})
+		p.idb[c.Head.Pred] = true
+		p.arity[c.Head.Pred] = len(c.Head.Args)
+	}
+	return p, nil
+}
+
+// Truth is a three-valued truth value.
+type Truth int
+
+// Truth values.
+const (
+	False Truth = iota
+	Undefined
+	True
+)
+
+// String implements fmt.Stringer.
+func (t Truth) String() string {
+	switch t {
+	case False:
+		return "false"
+	case Undefined:
+		return "undefined"
+	case True:
+		return "true"
+	default:
+		return fmt.Sprintf("Truth(%d)", int(t))
+	}
+}
+
+// Model is the well-founded (three-valued) model.
+type Model struct {
+	atoms map[string]ground.Atom
+	truth map[string]Truth
+	prog  *Program
+}
+
+// Truth returns the truth value of a ground atom key; atoms outside the
+// candidate space are False.
+func (m *Model) Truth(a ground.Atom) Truth {
+	return m.truth[a.Key()]
+}
+
+// Total reports whether no atom is undefined.
+func (m *Model) Total() bool {
+	for _, t := range m.truth {
+		if t == Undefined {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation projects the atoms with the given truth value onto pred.
+func (m *Model) Relation(pred string, tv Truth) *relation.Relation {
+	out := relation.New(pred, m.prog.arity[pred])
+	for k, t := range m.truth {
+		if t != tv {
+			continue
+		}
+		a := m.atoms[k]
+		if a.Pred == pred {
+			out.MustInsert(a.Tuple)
+		}
+	}
+	return out
+}
+
+// Atoms returns the atoms with the given truth value, sorted by key.
+func (m *Model) Atoms(tv Truth) []ground.Atom {
+	var out []ground.Atom
+	for k, t := range m.truth {
+		if t == tv {
+			out = append(out, m.atoms[k])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Options bounds the computation.
+type Options struct {
+	// Ground bounds the grounding phase.
+	Ground ground.Options
+}
+
+// WellFounded computes the well-founded model over db by the
+// alternating fixpoint: T0 = lfp of the reduct w.r.t. ∅ under- then
+// over-estimates alternate and converge monotonically.
+func (p *Program) WellFounded(db *core.Database, opts Options) (*Model, error) {
+	g, err := ground.Ground(p.rules, db, p.idb, opts.Ground)
+	if err != nil {
+		return nil, err
+	}
+	atoms := map[string]ground.Atom{}
+	for _, a := range g.Atoms {
+		atoms[a.Key()] = a
+	}
+
+	// gamma(S) = least model of the GL-reduct of the program w.r.t. S.
+	gamma := func(s map[string]bool) map[string]bool {
+		var reduct []ground.Clause
+		for _, c := range g.Clauses {
+			blocked := false
+			for _, n := range c.Neg {
+				if s[n.Key()] {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				reduct = append(reduct, ground.Clause{Head: c.Head, Pos: c.Pos})
+			}
+		}
+		return ground.LeastModel(reduct)
+	}
+
+	// Alternating fixpoint: underestimates I (true atoms) grow, over-
+	// estimates J (possibly-true atoms) shrink, both converge.
+	underestimate := map[string]bool{}
+	for {
+		over := gamma(underestimate) // possible atoms
+		next := gamma(over)          // atoms certain given the possible set
+		if setsEqual(next, underestimate) {
+			m := &Model{atoms: atoms, truth: map[string]Truth{}, prog: p}
+			for k := range atoms {
+				switch {
+				case next[k]:
+					m.truth[k] = True
+				case over[k]:
+					m.truth[k] = Undefined
+				default:
+					m.truth[k] = False
+				}
+			}
+			return m, nil
+		}
+		underestimate = next
+	}
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package wellfounded
+
+import (
+	"testing"
+
+	"idlog/internal/analysis"
+	"idlog/internal/core"
+	"idlog/internal/ground"
+	"idlog/internal/parser"
+	"idlog/internal/stable"
+	"idlog/internal/value"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStratifiedProgramIsTotalAndMatchesPerfectModel(t *testing.T) {
+	src := `
+		reach(X) :- start(X).
+		reach(Y) :- reach(X), e(X, Y).
+		dead(X) :- node(X), not reach(X).
+	`
+	p := mustParse(t, src)
+	db := core.NewDatabase()
+	_ = db.AddAll("e", value.Strs("a", "b"), value.Strs("c", "d"))
+	_ = db.AddAll("node", value.Strs("a"), value.Strs("b"), value.Strs("c"), value.Strs("d"))
+	_ = db.Add("start", value.Strs("a"))
+	m, err := p.WellFounded(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Total() {
+		t.Fatalf("stratified program has undefined atoms: %v", m.Atoms(Undefined))
+	}
+	prog, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := analysis.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Eval(info, db, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range []string{"reach", "dead"} {
+		if !m.Relation(pred, True).Equal(res.Relation(pred)) {
+			t.Fatalf("WFS true set differs from perfect model on %s:\n%v\n%v",
+				pred, m.Relation(pred, True), res.Relation(pred))
+		}
+	}
+}
+
+func TestWinMoveTwoCycleIsUndefined(t *testing.T) {
+	p := mustParse(t, `win(X) :- move(X, Y), not win(Y).`)
+	db := core.NewDatabase()
+	_ = db.AddAll("move", value.Strs("a", "b"), value.Strs("b", "a"))
+	m, err := p.WellFounded(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() {
+		t.Fatalf("2-cycle should leave win atoms undefined")
+	}
+	if got := len(m.Atoms(Undefined)); got != 2 {
+		t.Fatalf("undefined atoms = %d, want 2", got)
+	}
+}
+
+func TestWinMoveChainIsTotal(t *testing.T) {
+	// a -> b -> c: win(b) true (c loses), win(a) false, win(c) false.
+	p := mustParse(t, `win(X) :- move(X, Y), not win(Y).`)
+	db := core.NewDatabase()
+	_ = db.AddAll("move", value.Strs("a", "b"), value.Strs("b", "c"))
+	m, err := p.WellFounded(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Total() {
+		t.Fatalf("chain game should be total: undefined = %v", m.Atoms(Undefined))
+	}
+	winB := ground.Atom{Pred: "win", Tuple: value.Strs("b")}
+	winA := ground.Atom{Pred: "win", Tuple: value.Strs("a")}
+	if m.Truth(winB) != True || m.Truth(winA) != False {
+		t.Fatalf("win(b)=%v win(a)=%v", m.Truth(winB), m.Truth(winA))
+	}
+}
+
+func TestWFSApproximatesStableModels(t *testing.T) {
+	// WFS-true atoms are in every stable model; WFS-false atoms in none.
+	srcs := []string{
+		`win(X) :- move(X, Y), not win(Y).`,
+		`p(X) :- d(X), not q(X).
+		 q(X) :- d(X), not p(X).
+		 r(X) :- d(X), not r(X), p(X).`,
+	}
+	db := core.NewDatabase()
+	_ = db.AddAll("move", value.Strs("a", "b"), value.Strs("b", "a"), value.Strs("b", "c"))
+	_ = db.AddAll("d", value.Strs("u"), value.Strs("v"))
+	for _, src := range srcs {
+		wp := mustParse(t, src)
+		m, err := wp.WellFounded(db, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := stable.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models, err := sp.StableModels(db, stable.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sm := range models {
+			inModel := map[string]bool{}
+			for _, a := range sm.Atoms {
+				inModel[a.Key()] = true
+			}
+			for _, a := range m.Atoms(True) {
+				if !inModel[a.Key()] {
+					t.Fatalf("%q: WFS-true %v missing from stable model", src, a)
+				}
+			}
+			for _, a := range m.Atoms(False) {
+				if inModel[a.Key()] {
+					t.Fatalf("%q: WFS-false %v present in stable model", src, a)
+				}
+			}
+		}
+	}
+}
+
+func TestManWomanAllUndefined(t *testing.T) {
+	// The paper's motivating non-determinism: WFS refuses to choose,
+	// leaving every sex undefined — the gap the ID-construct fills.
+	p := mustParse(t, `
+		man(X) :- person(X), not woman(X).
+		woman(X) :- person(X), not man(X).
+	`)
+	db := core.NewDatabase()
+	_ = db.AddAll("person", value.Strs("a"), value.Strs("b"))
+	m, err := p.WellFounded(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Atoms(Undefined)); got != 4 {
+		t.Fatalf("undefined = %d, want 4 (every sex atom)", got)
+	}
+	if len(m.Atoms(True)) != 0 {
+		t.Fatalf("true atoms = %v, want none", m.Atoms(True))
+	}
+}
+
+func TestRejectsIDAndChoice(t *testing.T) {
+	if _, err := Parse(`p(X) :- q[](X, T).`); err == nil {
+		t.Fatalf("ID-literal accepted")
+	}
+	if _, err := Parse(`p(X) :- q(X, Y), choice((X), (Y)).`); err == nil {
+		t.Fatalf("choice accepted")
+	}
+}
+
+func TestTruthStrings(t *testing.T) {
+	if True.String() != "true" || False.String() != "false" || Undefined.String() != "undefined" {
+		t.Fatalf("Truth strings wrong")
+	}
+}

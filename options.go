@@ -1,0 +1,56 @@
+package idlog
+
+import "idlog/internal/core"
+
+// Option configures Eval and Enumerate.
+type Option func(*config)
+
+type config struct {
+	eval    core.Options
+	maxRuns int
+}
+
+func buildConfig(opts []Option) *config {
+	c := &config{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// WithOracle selects the ID-function oracle for the run. The default is
+// the deterministic SortedOracle.
+func WithOracle(o Oracle) Option {
+	return func(c *config) { c.eval.Oracle = o }
+}
+
+// WithSeed is shorthand for WithOracle(RandomOracle(seed)): a
+// reproducible pseudo-random run, the sampling mode.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.eval.Oracle = RandomOracle(seed) }
+}
+
+// WithNaive disables semi-naive (delta) fixpoint evaluation; every
+// round re-derives from the full relations. Exists for the E6 ablation.
+func WithNaive() Option {
+	return func(c *config) { c.eval.Naive = true }
+}
+
+// WithMaxDerivations aborts evaluation after n body instantiations; a
+// safety valve for generated or untrusted programs.
+func WithMaxDerivations(n int) Option {
+	return func(c *config) { c.eval.MaxDerivations = n }
+}
+
+// WithMaxRuns bounds the number of evaluation runs Enumerate may
+// perform (default 100000).
+func WithMaxRuns(n int) Option {
+	return func(c *config) { c.maxRuns = n }
+}
+
+// WithTrace records the first derivation of every tuple so that
+// Result.Explain can print derivation trees. Costs memory proportional
+// to the computed model.
+func WithTrace() Option {
+	return func(c *config) { c.eval.Trace = true }
+}

@@ -1,0 +1,95 @@
+package idlog
+
+import (
+	"fmt"
+
+	"idlog/internal/ast"
+	"idlog/internal/parser"
+)
+
+// Query evaluates a single goal — a comma-separated body such as
+// "emp(X, toys), X != joe" — against the program and db, returning one
+// row per satisfying binding of the goal's variables, in the order the
+// variables first appear. A ground goal returns one empty row when it
+// holds and no rows otherwise.
+//
+// Query is what the CLI's interactive "?-" prompt runs; here it is
+// exposed for programs.
+func (p *Program) Query(db *Database, goal string, opts ...Option) (*QueryResult, error) {
+	wrapped, err := parser.Clause("query_wrapper_head :- " + goal + ".")
+	if err != nil {
+		return nil, fmt.Errorf("idlog: query: %w", err)
+	}
+	ansPred := "ans"
+	for taken := true; taken; {
+		taken = false
+		for _, c := range p.pure.Clauses {
+			if c.Head.Pred == ansPred {
+				ansPred += "_"
+				taken = true
+			}
+		}
+	}
+	vars := ast.ClauseVars(&ast.Clause{Head: &ast.Atom{Pred: "x"}, Body: wrapped.Body})
+	head := &ast.Atom{Pred: ansPred}
+	for _, v := range vars {
+		head.Args = append(head.Args, v)
+	}
+	prog := &ast.Program{Clauses: append(append([]*ast.Clause{}, p.pure.Clauses...),
+		&ast.Clause{Head: head, Body: wrapped.Body})}
+	compiled, err := FromAST(prog)
+	if err != nil {
+		return nil, err
+	}
+	res, err := compiled.Eval(db, opts...)
+	if err != nil {
+		return nil, err
+	}
+	qr := &QueryResult{}
+	for _, v := range vars {
+		qr.Vars = append(qr.Vars, v.Name)
+	}
+	for _, t := range res.Relation(ansPred).Sorted() {
+		qr.Rows = append(qr.Rows, t)
+	}
+	return qr, nil
+}
+
+// QueryResult holds the bindings produced by Program.Query.
+type QueryResult struct {
+	// Vars names the goal's variables, in order of first occurrence;
+	// each row's columns align with it.
+	Vars []string
+	// Rows are the satisfying bindings, canonically sorted.
+	Rows []Tuple
+}
+
+// Holds reports whether the goal was satisfiable (at least one row, or
+// — for ground goals — the single empty binding).
+func (q *QueryResult) Holds() bool { return len(q.Rows) > 0 }
+
+// AddFactsText parses ground facts in program syntax ("emp(joe, toys).")
+// and adds them to db. Rules and non-ground facts are rejected.
+func AddFactsText(db *Database, src string) error {
+	prog, err := parser.Program(src)
+	if err != nil {
+		return fmt.Errorf("idlog: facts: %w", err)
+	}
+	for _, c := range prog.Clauses {
+		if !c.IsFact() {
+			return fmt.Errorf("idlog: facts: %q is not a fact", c)
+		}
+		tuple := make(Tuple, len(c.Head.Args))
+		for i, t := range c.Head.Args {
+			cst, ok := t.(ast.Const)
+			if !ok {
+				return fmt.Errorf("idlog: facts: %q has a non-ground argument", c)
+			}
+			tuple[i] = cst.Val
+		}
+		if err := db.Add(c.Head.Pred, tuple); err != nil {
+			return fmt.Errorf("idlog: facts: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package idlog
+
+import "testing"
+
+func TestQueryBindings(t *testing.T) {
+	prog, err := Parse(`
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	if err := AddFactsText(db, "e(a, b). e(b, c)."); err != nil {
+		t.Fatal(err)
+	}
+	qr, err := prog.Query(db, "tc(a, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Vars) != 1 || qr.Vars[0] != "Y" {
+		t.Fatalf("vars = %v", qr.Vars)
+	}
+	if len(qr.Rows) != 2 {
+		t.Fatalf("rows = %v", qr.Rows)
+	}
+}
+
+func TestQueryGroundGoal(t *testing.T) {
+	prog, err := Parse(`p(a).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	yes, err := prog.Query(db, "p(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	no, err := prog.Query(db, "p(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes.Holds() || no.Holds() {
+		t.Fatalf("ground goals: yes=%v no=%v", yes.Holds(), no.Holds())
+	}
+}
+
+func TestQueryConjunctionWithComparison(t *testing.T) {
+	prog, err := Parse(`score(a, 3). score(b, 9).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := prog.Query(NewDatabase(), "score(X, S), S > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 1 || qr.Rows[0][0].String() != "b" {
+		t.Fatalf("rows = %v", qr.Rows)
+	}
+}
+
+func TestQueryIDLiteral(t *testing.T) {
+	prog, err := Parse(`emp(joe, toys). emp(sue, toys).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := prog.Query(NewDatabase(), "emp[2](N, D, 0)", WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 1 {
+		t.Fatalf("rows = %v", qr.Rows)
+	}
+}
+
+func TestQueryBadGoal(t *testing.T) {
+	prog, err := Parse(`p(a).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Query(NewDatabase(), "p(X), q("); err == nil {
+		t.Fatalf("bad goal accepted")
+	}
+	// Unsafe goal: variable only in negation.
+	if _, err := prog.Query(NewDatabase(), "not p(X)"); err == nil {
+		t.Fatalf("unsafe goal accepted")
+	}
+}
+
+func TestAddFactsTextRejections(t *testing.T) {
+	db := NewDatabase()
+	if err := AddFactsText(db, "p(X) :- q(X)."); err == nil {
+		t.Fatalf("rule accepted as fact")
+	}
+	if err := AddFactsText(db, "p(X)."); err == nil {
+		t.Fatalf("non-ground fact accepted")
+	}
+	if err := AddFactsText(db, "p(a,"); err == nil {
+		t.Fatalf("syntax error accepted")
+	}
+}
+
+func TestQueryAvoidsAnsCollision(t *testing.T) {
+	prog, err := Parse(`ans(a). ans_(b).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := prog.Query(NewDatabase(), "ans(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 1 || qr.Rows[0][0].String() != "a" {
+		t.Fatalf("rows = %v", qr.Rows)
+	}
+}
