@@ -1,11 +1,12 @@
 // Benchmarks: one testing.B benchmark per experiment of EXPERIMENTS.md
-// (E1–E10). `go test -bench=. -benchmem` reports the raw costs; the
+// (E1–E11). `go test -bench=. -benchmem` reports the raw costs; the
 // formatted tables with correctness checks come from cmd/idlogbench.
 package idlog
 
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"idlog/internal/bench"
 	"idlog/internal/choice"
@@ -323,6 +324,35 @@ func BenchmarkE9SemanticsLandscape(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE11GovernedOverhead: the same transitive-closure run with no
+// guard vs an armed, never-tripping guard (timeout + tuple + derivation
+// limits). The delta is the whole cost of resource governance.
+func BenchmarkE11GovernedOverhead(b *testing.B) {
+	prog := mustProg(b, `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+	`)
+	for _, n := range []int{64, 128} {
+		db := bench.ChainDB(n)
+		b.Run(fmt.Sprintf("ungoverned/chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Eval(db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("governed/chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := prog.Eval(db,
+					WithTimeout(time.Hour), WithMaxTuples(1<<30), WithMaxDerivations(1<<30))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkE10DeterministicCounting: the cardinality-via-tids program

@@ -12,9 +12,26 @@
 //	-seed n          use the seeded random oracle (default: sorted/deterministic)
 //	-enumerate       enumerate ALL answers of the query predicates
 //	-max-runs n      budget for -enumerate (default 100000)
+//	-timeout d       wall-clock budget for the run, e.g. 5s, 300ms (0 = none)
+//	-max-tuples n    materialized-tuple budget, a memory ceiling (0 = none)
+//	-max-derivations n  derivation budget, a work ceiling (0 = none)
+//	-partial         on a tripped budget/timeout, still print the partial model
 //	-optimize p      print the §4-optimized program w.r.t. p and exit
 //	-show            print the (choice-translated) program before running
 //	-stats           print evaluation statistics
+//
+// Ctrl-C (SIGINT) cancels the run gracefully: the engine stops at the
+// next guard checkpoint and exits with the cancellation code.
+//
+// Exit codes:
+//
+//	0  success
+//	1  program, input, or I/O error
+//	2  usage error
+//	3  canceled (SIGINT or context cancellation)
+//	4  timeout (deadline or -timeout budget)
+//	5  resource budget exhausted (-max-tuples, -max-derivations, -max-runs)
+//	6  internal engine error (recovered panic)
 //
 // Fact files contain ground facts in program syntax, e.g.:
 //
@@ -23,9 +40,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"idlog"
@@ -33,6 +53,38 @@ import (
 	"idlog/internal/parser"
 	"idlog/internal/storage"
 )
+
+// Exit codes; see the package comment.
+const (
+	exitOK       = 0
+	exitError    = 1
+	exitUsage    = 2
+	exitCanceled = 3
+	exitTimeout  = 4
+	exitBudget   = 5
+	exitInternal = 6
+)
+
+// exitCode maps an error to the CLI's exit code via the typed taxonomy.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var ie *idlog.Error
+	if errors.As(err, &ie) {
+		switch ie.Code {
+		case idlog.CodeCanceled:
+			return exitCanceled
+		case idlog.CodeDeadlineExceeded:
+			return exitTimeout
+		case idlog.CodeResourceExhausted:
+			return exitBudget
+		case idlog.CodeInternal:
+			return exitInternal
+		}
+	}
+	return exitError
+}
 
 type stringList []string
 
@@ -54,6 +106,10 @@ func main() {
 	useSeed := flag.Bool("random", false, "use the seeded random oracle (with -seed)")
 	enumerate := flag.Bool("enumerate", false, "enumerate all answers of the query predicates")
 	maxRuns := flag.Int("max-runs", 100000, "run budget for -enumerate")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
+	maxTuples := flag.Int("max-tuples", 0, "materialized-tuple budget, a memory ceiling (0 = none)")
+	maxDerivations := flag.Int("max-derivations", 0, "derivation budget, a work ceiling (0 = none)")
+	partial := flag.Bool("partial", false, "on a tripped budget/timeout, still print the partial model")
 	optimize := flag.String("optimize", "", "print the optimized program w.r.t. this predicate and exit")
 	show := flag.Bool("show", false, "print the evaluated (choice-translated) program")
 	stats := flag.Bool("stats", false, "print evaluation statistics")
@@ -137,11 +193,27 @@ func main() {
 	if *explain != "" {
 		opts = append(opts, idlog.WithTrace())
 	}
+	if *timeout > 0 {
+		opts = append(opts, idlog.WithTimeout(*timeout))
+	}
+	if *maxTuples > 0 {
+		opts = append(opts, idlog.WithMaxTuples(*maxTuples))
+	}
+	if *maxDerivations > 0 {
+		opts = append(opts, idlog.WithMaxDerivations(*maxDerivations))
+	}
+
+	// Ctrl-C cancels the evaluation at the next guard checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *enumerate {
-		answers, err := prog.Enumerate(db, preds, append(opts, idlog.WithMaxRuns(*maxRuns))...)
-		if err != nil {
+		answers, err := prog.EnumerateContext(ctx, db, preds, append(opts, idlog.WithMaxRuns(*maxRuns))...)
+		if err != nil && (!*partial || len(answers) == 0) {
 			fatal(err)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "idlog: warning: enumeration incomplete (%v); printing answers found so far\n", err)
 		}
 		fmt.Printf("%d answers:\n", len(answers))
 		for i, a := range answers {
@@ -150,14 +222,21 @@ func main() {
 				fmt.Printf("  %v\n", a.Relations[p])
 			}
 		}
+		if err != nil {
+			os.Exit(exitCode(err))
+		}
 		return
 	}
 
-	res, err := prog.Eval(db, opts...)
+	res, err := prog.EvalContext(ctx, db, opts...)
 	if err != nil {
-		fatal(err)
+		if !*partial || res == nil || !res.Incomplete {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "idlog: warning: evaluation incomplete after %d strata (%v); printing the partial model\n",
+			res.CompletedStrata, err)
 	}
-	if *saveSnap != "" {
+	if *saveSnap != "" && err == nil {
 		out := idlog.NewDatabase()
 		for _, p := range prog.OutputPredicates() {
 			if r := res.Relation(p); r != nil {
@@ -175,6 +254,12 @@ func main() {
 			continue
 		}
 		fmt.Println(r)
+	}
+	if err != nil {
+		if *stats {
+			fmt.Fprintln(os.Stderr, "stats:", res.Stats)
+		}
+		os.Exit(exitCode(err))
 	}
 	if *explain != "" {
 		pred, tuple, err := parseGroundAtom(*explain)
@@ -257,7 +342,12 @@ func databaseClauses(db *idlog.Database) []*ast.Clause {
 	return out
 }
 
+// fatal reports err and exits with the code its taxonomy class maps to.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "idlog:", err)
-	os.Exit(1)
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "idlog:") {
+		msg = "idlog: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(exitCode(err))
 }

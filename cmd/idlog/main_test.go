@@ -1,9 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"idlog"
 )
@@ -53,6 +57,60 @@ func TestLoadFactsRejectsNonGround(t *testing.T) {
 func TestLoadFactsMissingFile(t *testing.T) {
 	if err := loadFacts(idlog.NewDatabase(), "/nonexistent/facts.idl"); err == nil {
 		t.Fatalf("missing file not reported")
+	}
+}
+
+func TestExitCodeMapping(t *testing.T) {
+	prog, err := idlog.Parse(`
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := idlog.NewDatabase()
+	for i := int64(0); i < 50; i++ {
+		if err := db.Add("e", idlog.Ints(i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	errFor := func(ctx context.Context, opts ...idlog.Option) error {
+		_, err := prog.EvalContext(ctx, db, opts...)
+		return err
+	}
+	_, parseErr := idlog.Parse("p(X :-")
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, exitOK},
+		{"plain", fmt.Errorf("disk on fire"), exitError},
+		{"parse", parseErr, exitError},
+		{"canceled", errFor(canceled), exitCanceled},
+		{"timeout", errFor(context.Background(), idlog.WithTimeout(time.Nanosecond)), exitTimeout},
+		{"derivations", errFor(context.Background(), idlog.WithMaxDerivations(5)), exitBudget},
+		{"tuples", errFor(context.Background(), idlog.WithMaxTuples(5)), exitBudget},
+	}
+	for _, tc := range cases {
+		if tc.want != exitOK && tc.err == nil {
+			t.Fatalf("%s: expected a triggering error", tc.name)
+		}
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+	// Enumeration trips map through the same taxonomy.
+	_, err = prog.Enumerate(db, []string{"tc"}, idlog.WithTimeout(time.Nanosecond))
+	if err == nil || exitCode(err) != exitTimeout {
+		t.Errorf("enumerate timeout: err = %v, exitCode = %d", err, exitCode(err))
+	}
+	var ie *idlog.Error
+	if !errors.As(errFor(canceled), &ie) || ie.Code != idlog.CodeCanceled {
+		t.Errorf("canceled run did not produce a typed error")
 	}
 }
 

@@ -17,7 +17,7 @@ import (
 
 func main() {
 	suiteName := flag.String("suite", "quick", "experiment sizing: quick or full")
-	only := flag.String("only", "all", "run a single experiment (E1..E10) or all")
+	only := flag.String("only", "all", "run a single experiment (E1..E11) or all")
 	markdown := flag.Bool("md", false, "emit GitHub-flavoured markdown tables")
 	flag.Parse()
 

@@ -25,6 +25,7 @@
 package idlog
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -34,6 +35,7 @@ import (
 	"idlog/internal/ast"
 	"idlog/internal/choice"
 	"idlog/internal/core"
+	"idlog/internal/guard"
 	"idlog/internal/parser"
 	"idlog/internal/relation"
 	"idlog/internal/sampling"
@@ -60,6 +62,34 @@ type (
 	Value = value.Value
 	// Tuple is a sequence of values.
 	Tuple = value.Tuple
+	// Error is the engine's typed error: every governance failure
+	// (cancellation, deadline, budget), program error, and recovered
+	// panic reaching the public API is an *Error. Match with
+	// errors.As; the underlying cause (context.Canceled, ...) stays
+	// reachable through errors.Is.
+	Error = guard.Error
+	// ErrorCode classifies an Error; see the Code constants.
+	ErrorCode = guard.Code
+)
+
+// Error codes carried by *Error, for programmatic handling.
+const (
+	// CodeCanceled: the caller's context was canceled mid-run.
+	CodeCanceled = guard.Canceled
+	// CodeDeadlineExceeded: a context deadline or WithTimeout budget
+	// expired.
+	CodeDeadlineExceeded = guard.DeadlineExceeded
+	// CodeResourceExhausted: a derivation, tuple, or enumeration-run
+	// budget was spent.
+	CodeResourceExhausted = guard.ResourceExhausted
+	// CodeParseError: the program or goal text does not parse.
+	CodeParseError = guard.ParseError
+	// CodeStratificationError: the program is not valid stratified
+	// IDLOG (negation/ID cycles, choice misuse, arity conflicts).
+	CodeStratificationError = guard.StratificationError
+	// CodeInternal: an engine panic was recovered and converted,
+	// carrying the stratum and clause under evaluation.
+	CodeInternal = guard.Internal
 )
 
 // NewDatabase returns an empty database.
@@ -105,18 +135,20 @@ func Parse(src string) (*Program, error) {
 }
 
 // FromAST wraps an already-built AST program (used by generators).
+// Structural errors — failed choice translation, stratification or
+// arity conflicts — carry CodeStratificationError.
 func FromAST(prog *ast.Program) (*Program, error) {
 	p := &Program{src: prog, pure: prog}
 	if prog.HasChoice() {
 		translated, err := choice.Translate(prog)
 		if err != nil {
-			return nil, err
+			return nil, guard.WrapErr(guard.StratificationError, "parse", err, "choice translation failed")
 		}
 		p.pure = translated
 	}
 	info, err := analysis.Analyze(p.pure)
 	if err != nil {
-		return nil, err
+		return nil, guard.WrapErr(guard.StratificationError, "parse", err, "invalid program")
 	}
 	p.info = info
 	return p, nil
@@ -160,8 +192,20 @@ func (p *Program) OutputPredicates() []string {
 // Eval computes one perfect model of the program over db. With no
 // options the run is deterministic (SortedOracle); use WithSeed or
 // WithOracle for non-deterministic runs.
+//
+// Under governance (EvalContext, WithTimeout, WithMaxTuples,
+// WithMaxDerivations) a tripped run returns BOTH a partial *Result —
+// marked Incomplete, holding every tuple derived so far (a sound
+// prefix of the model) — and a typed *Error saying why.
 func (p *Program) Eval(db *Database, opts ...Option) (*Result, error) {
-	cfg := buildConfig(opts)
+	return p.EvalContext(context.Background(), db, opts...)
+}
+
+// EvalContext is Eval honoring ctx: cancellation and deadlines are
+// observed at stratum, fixpoint-round, and derivation-batch
+// boundaries (within guard.CheckInterval derivations).
+func (p *Program) EvalContext(ctx context.Context, db *Database, opts ...Option) (*Result, error) {
+	cfg := buildConfig(ctx, opts)
 	return core.Eval(p.info, db, cfg.eval)
 }
 
@@ -169,12 +213,31 @@ func (p *Program) Eval(db *Database, opts ...Option) (*Result, error) {
 // output predicates preds: one Answer per distinct combination of their
 // relations across all ID-function choices. Exponential; use on small
 // inputs (the WithMaxRuns option bounds the walk).
+//
+// A walk cut short — run budget, timeout, cancellation — returns the
+// answers found so far alongside a typed *Error.
 func (p *Program) Enumerate(db *Database, preds []string, opts ...Option) ([]*Answer, error) {
-	cfg := buildConfig(opts)
-	return core.Enumerate(p.info, db, preds, core.EnumerateOptions{
+	return p.EnumerateContext(context.Background(), db, preds, opts...)
+}
+
+// EnumerateContext is Enumerate honoring ctx. The run budgets and the
+// wall clock govern the walk as a whole, not each run.
+func (p *Program) EnumerateContext(ctx context.Context, db *Database, preds []string, opts ...Option) ([]*Answer, error) {
+	cfg := buildConfig(ctx, opts)
+	answers, err := core.Enumerate(p.info, db, preds, core.EnumerateOptions{
 		MaxRuns: cfg.maxRuns,
 		Eval:    cfg.eval,
 	})
+	return answers, wrapEnumerateErr(err)
+}
+
+// wrapEnumerateErr lifts the enumeration budget error into the typed
+// taxonomy; guard errors pass through already typed.
+func wrapEnumerateErr(err error) error {
+	if budget, ok := err.(*core.ErrEnumerationBudget); ok {
+		return guard.WrapErr(guard.ResourceExhausted, "enumerate", budget, "run budget spent")
+	}
+	return err
 }
 
 // Optimize applies the §4 optimization strategy w.r.t. the output
@@ -204,12 +267,19 @@ type SampleSpec struct {
 // Sample runs the paper's sampling query "select K tuples from every
 // group" (§3.3) against db under the given seed and returns the sample.
 func Sample(spec SampleSpec, db *Database, seed uint64) (*Relation, error) {
+	return SampleContext(context.Background(), spec, db, seed)
+}
+
+// SampleContext is Sample honoring ctx and the governance options
+// (WithTimeout, WithMaxTuples, WithMaxDerivations).
+func SampleContext(ctx context.Context, spec SampleSpec, db *Database, seed uint64, opts ...Option) (*Relation, error) {
 	cols := make([]int, len(spec.GroupBy))
 	for i, c := range spec.GroupBy {
 		cols[i] = c - 1
 	}
 	s := sampling.Spec{Relation: spec.Relation, Arity: spec.Arity, GroupCols: cols, K: spec.K}
-	rel, _, err := sampling.Sample(s, db, seed)
+	cfg := buildConfig(ctx, opts)
+	rel, _, err := sampling.SampleWith(s, db, seed, cfg.eval)
 	return rel, err
 }
 
@@ -232,7 +302,7 @@ func SampleProgram(spec SampleSpec) (*Program, error) {
 func parseText(src string) (*ast.Program, error) {
 	prog, err := parser.Program(src)
 	if err != nil {
-		return nil, fmt.Errorf("idlog: %w", err)
+		return nil, guard.WrapErr(guard.ParseError, "parse", err, "")
 	}
 	return prog, nil
 }

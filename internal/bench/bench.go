@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness of EXPERIMENTS.md:
-// one generator per experiment (E1–E10), each returning a Table whose
+// one generator per experiment (E1–E11), each returning a Table whose
 // rows regenerate the corresponding claim of the paper. cmd/idlogbench
 // prints the tables; the root-level bench_test.go exposes the same
 // workloads as testing.B benchmarks.

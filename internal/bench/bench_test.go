@@ -25,10 +25,14 @@ func TestQuickSuiteRuns(t *testing.T) {
 		E9Persons:   []int{2},
 		E10Sizes:    []int{5},
 		E10Seeds:    3,
+		E11Reps:     3,
+		E11Chain:    16,
+		E11Grid:     4,
+		E11Emp:      [2]int{3, 6},
 	}
 	tables := Run(suite, "all")
-	if len(tables) != 10 {
-		t.Fatalf("ran %d experiments, want 10", len(tables))
+	if len(tables) != 11 {
+		t.Fatalf("ran %d experiments, want 11", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
@@ -46,7 +50,7 @@ func TestQuickSuiteRuns(t *testing.T) {
 			t.Errorf("%s render missing header: %q", tab.ID, out[:60])
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
 		if !ids[id] {
 			t.Errorf("experiment %s missing", id)
 		}

@@ -26,6 +26,12 @@ type Suite struct {
 	// E10Seeds is the invariance sample per size.
 	E10Sizes []int
 	E10Seeds int
+	// E11Reps is the runs-per-cell sample for the governance-overhead
+	// comparison; E11Chain/E11Grid/E11Emp size its kernels.
+	E11Reps  int
+	E11Chain int
+	E11Grid  int
+	E11Emp   [2]int
 }
 
 // Quick returns a suite sized to finish in a few seconds.
@@ -44,6 +50,10 @@ func Quick() Suite {
 		E9Persons:   []int{2, 3},
 		E10Sizes:    []int{10, 100},
 		E10Seeds:    10,
+		E11Reps:     7,
+		E11Chain:    128,
+		E11Grid:     8,
+		E11Emp:      [2]int{20, 200},
 	}
 }
 
@@ -63,6 +73,10 @@ func Full() Suite {
 		E9Persons:   []int{2, 3, 4},
 		E10Sizes:    []int{10, 100, 1000, 5000},
 		E10Seeds:    20,
+		E11Reps:     15,
+		E11Chain:    256,
+		E11Grid:     16,
+		E11Emp:      [2]int{50, 1000},
 	}
 }
 
@@ -99,6 +113,9 @@ func Run(s Suite, only string) []*Table {
 	}
 	if want("E10") {
 		out = append(out, E10(s.E10Sizes, s.E10Seeds))
+	}
+	if want("E11") {
+		out = append(out, E11(s.E11Reps, s.E11Chain, s.E11Grid, s.E11Emp[0], s.E11Emp[1]))
 	}
 	return out
 }

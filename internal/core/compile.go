@@ -55,7 +55,10 @@ type compiledLit struct {
 }
 
 type compiledClause struct {
-	src      *analysis.OrderedClause
+	src *analysis.OrderedClause
+	// srcText is the clause source rendered once at compile time, so
+	// guard and panic diagnostics on the hot path cost no formatting.
+	srcText  string
 	headPred string
 	headArgs []compiledArg
 	lits     []compiledLit
@@ -81,7 +84,7 @@ func compileClause(oc *analysis.OrderedClause, stratumPred func(string) bool) (*
 		slots[name] = s
 		return s
 	}
-	cc := &compiledClause{src: oc, headPred: oc.Clause.Head.Pred}
+	cc := &compiledClause{src: oc, srcText: oc.Source.String(), headPred: oc.Clause.Head.Pred}
 
 	bound := map[string]bool{}
 	for li, l := range oc.Clause.Body {

@@ -116,12 +116,28 @@ func (s Stats) String() string {
 
 // Result is the computed perfect model: every program relation (EDB and
 // IDB) plus the materialized ID-relations, and the run's statistics.
+//
+// A governed run that trips (cancellation, deadline, budget, injected
+// fault) still returns its Result: Incomplete is set, CompletedStrata
+// reports how many strata reached fixpoint, and Err carries the typed
+// triggering error. Partial models are sound prefixes — every tuple
+// they contain is derivable under the run's oracle (stratification
+// means negation only ever consults fully computed strata).
 type Result struct {
 	rels   map[string]*relation.Relation
 	idrels map[string]*relation.Relation
 	prov   map[string]provEntry
 	// Stats holds the evaluation counters for this run.
 	Stats Stats
+	// Incomplete marks a partial model from a tripped run.
+	Incomplete bool
+	// CompletedStrata counts the strata evaluated to fixpoint; tuples
+	// from the stratum that tripped are present but that stratum is
+	// not saturated.
+	CompletedStrata int
+	// Err is the typed error that stopped an incomplete run, nil for
+	// complete ones. The same error is returned by Eval.
+	Err error
 }
 
 // Relation returns the named relation from the model. IDB predicates

@@ -64,6 +64,11 @@ func (e *ErrEnumerationBudget) Error() string {
 // choices (derived relations change with the oracle).
 //
 // Answers are returned sorted by fingerprint for determinism.
+//
+// The walk is governed as one unit: all runs share opts.Eval.Guard (or
+// a fresh guard), so timeouts and budgets bound the whole enumeration.
+// When the walk is cut short — budget, cancellation, deadline — the
+// answers discovered so far are returned alongside the error.
 func Enumerate(info *analysis.Info, db *Database, preds []string, opts EnumerateOptions) ([]*Answer, error) {
 	maxRuns := opts.MaxRuns
 	if maxRuns == 0 {
@@ -71,11 +76,17 @@ func Enumerate(info *analysis.Info, db *Database, preds []string, opts Enumerate
 	}
 	runs := 0
 	seen := map[string]*Answer{}
+	g := opts.Eval.guard()
+	g.SetOp("enumerate")
+	opts.Eval.Guard = g
 
 	var walk func(assign map[string]uint64) error
 	walk = func(assign map[string]uint64) error {
 		if runs >= maxRuns {
 			return &ErrEnumerationBudget{Runs: maxRuns}
+		}
+		if err := g.Checkpoint(); err != nil {
+			return err
 		}
 		runs++
 		oracle := &relation.FixedOracle{Choices: assign, Observed: map[string]int{}}
@@ -122,9 +133,7 @@ func Enumerate(info *analysis.Info, db *Database, preds []string, opts Enumerate
 		return nil
 	}
 
-	if err := walk(map[string]uint64{}); err != nil {
-		return nil, err
-	}
+	walkErr := walk(map[string]uint64{})
 	out := make([]*Answer, 0, len(seen))
 	keys := make([]string, 0, len(seen))
 	for k := range seen {
@@ -134,7 +143,7 @@ func Enumerate(info *analysis.Info, db *Database, preds []string, opts Enumerate
 	for _, k := range keys {
 		out = append(out, seen[k])
 	}
-	return out, nil
+	return out, walkErr
 }
 
 // AnswerSetFingerprints projects an answer list to its sorted

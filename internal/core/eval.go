@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"idlog/internal/analysis"
+	"idlog/internal/guard"
 	"idlog/internal/relation"
 	"idlog/internal/value"
 )
@@ -19,12 +20,18 @@ type Options struct {
 	Naive bool
 	// MaxDerivations aborts evaluation once the total number of body
 	// instantiations exceeds this bound (0 = unlimited); a safety valve
-	// for generated programs.
+	// for generated programs. Ignored when Guard is set — fold the
+	// budget into the guard's limits instead.
 	MaxDerivations int
 	// Trace records, for every derived tuple, the clause and ground
 	// body facts of its first derivation, enabling Result.Explain.
 	// Costs memory proportional to the model.
 	Trace bool
+	// Guard governs the run (cancellation, deadlines, budgets, fault
+	// injection). Nil builds a fresh guard carrying only
+	// MaxDerivations. An Enumerate walk shares one guard across its
+	// runs, so budgets span the whole walk.
+	Guard *guard.Guard
 }
 
 func (o Options) oracle() relation.Oracle {
@@ -34,15 +41,41 @@ func (o Options) oracle() relation.Oracle {
 	return o.Oracle
 }
 
+func (o Options) guard() *guard.Guard {
+	if o.Guard != nil {
+		return o.Guard
+	}
+	return guard.New(nil, guard.Limits{MaxDerivations: o.MaxDerivations})
+}
+
 // Eval computes the perfect model of the analyzed program over db for
 // the ID-function assignment drawn from opts.Oracle (Theorem 1: for a
 // fixed assignment the stratified program has a unique perfect model,
 // computed stratum by stratum as an iterated minimal model).
-func Eval(info *analysis.Info, db *Database, opts Options) (*Result, error) {
-	e := &engine{info: info, opts: opts, work: map[string]*relation.Relation{}, idrels: map[string]*relation.Relation{}}
+//
+// Eval degrades gracefully under governance: when the run's guard trips
+// (cancellation, deadline, budget) the partially computed model is
+// returned alongside the typed error, marked Incomplete with
+// CompletedStrata set. Because strata are evaluated in dependency order
+// and negation only consults earlier strata, every tuple of a partial
+// model has a sound derivation — the partial model is a prefix of the
+// perfect model for the same oracle. Engine panics are recovered and
+// converted to guard.Internal errors carrying the stratum and clause
+// under evaluation.
+func Eval(info *analysis.Info, db *Database, opts Options) (res *Result, err error) {
+	g := opts.guard()
+	e := &engine{info: info, opts: opts, g: g, governed: g.Active(),
+		work: map[string]*relation.Relation{}, idrels: map[string]*relation.Relation{}}
 	if opts.Trace {
 		e.prov = map[string]provEntry{}
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			ierr := guard.Errorf(guard.Internal, g.Op(),
+				"panic in stratum %d (clause %s): %v", g.Stratum(), e.curClause, r)
+			res, err = e.partial(ierr), ierr
+		}
+	}()
 	// Input relations: use the database's, or empty ones when absent.
 	for p := range info.EDB {
 		r := db.Relation(p)
@@ -56,21 +89,46 @@ func Eval(info *analysis.Info, db *Database, opts Options) (*Result, error) {
 	for p := range info.IDB {
 		e.work[p] = relation.New(p, info.Arity[p])
 	}
-	for _, s := range info.Strata {
-		if err := e.evalStratum(s); err != nil {
-			return nil, err
+	for i, s := range info.Strata {
+		if e.governed {
+			if err := e.g.StartStratum(i); err != nil {
+				return e.partial(err), err
+			}
 		}
+		if err := e.evalStratum(s); err != nil {
+			return e.partial(err), err
+		}
+		e.completed = i + 1
 	}
-	return &Result{rels: e.work, idrels: e.idrels, Stats: e.stats, prov: e.prov}, nil
+	return &Result{rels: e.work, idrels: e.idrels, Stats: e.stats, prov: e.prov,
+		CompletedStrata: e.completed}, nil
 }
 
 type engine struct {
-	info   *analysis.Info
-	opts   Options
-	work   map[string]*relation.Relation
-	idrels map[string]*relation.Relation
-	stats  Stats
-	prov   map[string]provEntry
+	info     *analysis.Info
+	opts     Options
+	g        *guard.Guard
+	governed bool
+	work     map[string]*relation.Relation
+	idrels   map[string]*relation.Relation
+	stats    Stats
+	prov     map[string]provEntry
+	// completed counts fully evaluated strata; curClause is the source
+	// of the clause being instantiated (panic/error context).
+	completed int
+	curClause string
+	// gslack and gused amortize guard consultations on the derivation
+	// hot path: gslack derivations may still run under the current
+	// DerivationGrant, gused have run and await settlement.
+	gslack int
+	gused  int
+}
+
+// partial packages the work done so far as an Incomplete result with
+// the triggering error attached.
+func (e *engine) partial(cause error) *Result {
+	return &Result{rels: e.work, idrels: e.idrels, Stats: e.stats, prov: e.prov,
+		Incomplete: true, CompletedStrata: e.completed, Err: cause}
 }
 
 func (e *engine) evalStratum(s *analysis.Stratum) error {
@@ -81,12 +139,26 @@ func (e *engine) evalStratum(s *analysis.Stratum) error {
 		if !ok {
 			return fmt.Errorf("eval: ID-relation over unknown predicate %s", need.Pred)
 		}
+		if e.governed {
+			if ferr := e.g.TakeOracleFault(); ferr != nil {
+				return guard.WrapErr(guard.Internal, e.g.Op(), ferr,
+					fmt.Sprintf("oracle failed materializing %s", need.Key()))
+			}
+		}
 		idr, err := relation.MaterializeIDBounded(base, need.Key(), need.Group, e.opts.oracle(), need.Bound)
 		if err != nil {
 			return err
 		}
 		e.idrels[need.Key()] = idr
 		e.stats.IDRelations++
+		// ID-relation rows count against the tuple budget at block
+		// granularity (the block is already materialized; derived
+		// tuples below are exact).
+		if e.governed {
+			if err := e.g.TryTuples(idr.Len()); err != nil {
+				return err
+			}
+		}
 	}
 
 	inStratum := map[string]bool{}
@@ -111,6 +183,11 @@ func (e *engine) evalStratum(s *analysis.Stratum) error {
 // relations until no clause derives a new tuple.
 func (e *engine) naiveFixpoint(clauses []*compiledClause) error {
 	for {
+		if e.governed {
+			if err := e.g.Checkpoint(); err != nil {
+				return err
+			}
+		}
 		e.stats.Iterations++
 		inserted := 0
 		for _, cc := range clauses {
@@ -154,6 +231,11 @@ func (e *engine) seminaiveFixpoint(s *analysis.Stratum, clauses []*compiledClaus
 		}
 		if total == 0 || len(recursive) == 0 {
 			return nil
+		}
+		if e.governed {
+			if err := e.g.Checkpoint(); err != nil {
+				return err
+			}
 		}
 		e.stats.Iterations++
 		next := map[string]*relation.Relation{}
@@ -210,13 +292,25 @@ func (e *engine) evalClauseDelta(cc *compiledClause, deltaPos int, deltaRel, del
 func (e *engine) run(cc *compiledClause, deltaPos int, deltaRel, deltaSink, full *relation.Relation) (int, error) {
 	env := make([]value.Value, cc.nslots)
 	inserted := 0
+	e.curClause = cc.srcText
 	var rec func(depth int) error
 	rec = func(depth int) error {
 		if depth == len(cc.lits) {
-			e.stats.Derivations++
-			if e.opts.MaxDerivations > 0 && e.stats.Derivations > e.opts.MaxDerivations {
-				return fmt.Errorf("eval: derivation budget %d exceeded (clause %s)", e.opts.MaxDerivations, cc.src.Source)
+			if e.governed {
+				// Amortized governance: consult the guard only when the
+				// current grant is spent; in between, one decrement.
+				if e.gslack == 0 {
+					n, err := e.g.DerivationGrant(e.gused, cc.srcText)
+					e.gused = 0
+					if err != nil {
+						return err
+					}
+					e.gslack = n
+				}
+				e.gslack--
+				e.gused++
 			}
+			e.stats.Derivations++
 			head := cc.headBuf
 			for i, a := range cc.headArgs {
 				if a.kind == argConst {
@@ -225,11 +319,23 @@ func (e *engine) run(cc *compiledClause, deltaPos int, deltaRel, deltaSink, full
 					head[i] = env[a.slot]
 				}
 			}
+			// At the tuple limit, reject a genuinely new tuple before
+			// storing it so a tripped run holds exactly the budget.
+			// Duplicates fall through: they cost no memory and
+			// InsertShared ignores them.
+			if e.governed && e.g.AtTupleLimit() && !full.Contains(head) {
+				return e.g.TryTuples(1)
+			}
 			stored, err := full.InsertShared(head)
 			if err != nil {
 				return err
 			}
 			if stored != nil {
+				if e.governed {
+					if err := e.g.TryTuples(1); err != nil {
+						return err
+					}
+				}
 				inserted++
 				e.stats.Inserted++
 				e.recordProvenance(cc, env, stored)

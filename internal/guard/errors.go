@@ -1,0 +1,93 @@
+package guard
+
+import "fmt"
+
+// Code classifies an engine error at the public boundary. Callers
+// branch on codes (via errors.As on *Error) rather than matching
+// message strings.
+type Code int
+
+const (
+	// OK is the zero code; no *Error carries it.
+	OK Code = iota
+	// Canceled: the caller's context was canceled mid-evaluation.
+	Canceled
+	// DeadlineExceeded: the context deadline or the WithTimeout
+	// wall-clock budget expired.
+	DeadlineExceeded
+	// ResourceExhausted: a derivation, tuple, or enumeration-run budget
+	// was spent.
+	ResourceExhausted
+	// ParseError: the program or goal text does not parse.
+	ParseError
+	// StratificationError: the program parses but is not a valid
+	// stratified IDLOG program (negation/ID cycles, choice misuse,
+	// arity conflicts).
+	StratificationError
+	// Internal: an engine invariant broke; a recovered panic converted
+	// to an error, carrying the stratum and clause under evaluation.
+	Internal
+)
+
+// String names the code in snake_case, matching the CLI diagnostics.
+func (c Code) String() string {
+	switch c {
+	case OK:
+		return "ok"
+	case Canceled:
+		return "canceled"
+	case DeadlineExceeded:
+		return "deadline_exceeded"
+	case ResourceExhausted:
+		return "resource_exhausted"
+	case ParseError:
+		return "parse_error"
+	case StratificationError:
+		return "stratification_error"
+	case Internal:
+		return "internal"
+	}
+	return fmt.Sprintf("code(%d)", int(c))
+}
+
+// Error is the engine's typed error: a Code for programmatic handling,
+// the entry point that failed, a human-readable detail, and the
+// underlying cause (context.Canceled, context.DeadlineExceeded, the
+// enumeration budget error, ...) reachable through errors.Is/As.
+type Error struct {
+	// Code classifies the failure.
+	Code Code
+	// Op is the entry point that returned the error: "parse", "eval",
+	// "enumerate", "query".
+	Op string
+	// Msg is the human-readable detail (budget, stratum, clause).
+	Msg string
+	// Err is the wrapped cause, or nil.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	s := "idlog: " + e.Op + ": " + e.Code.String()
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the cause to errors.Is/As chains, so that
+// errors.Is(err, context.Canceled) holds for cancellations.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Errorf builds an *Error with a formatted message and no cause.
+func Errorf(code Code, op, format string, args ...any) *Error {
+	return &Error{Code: code, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// WrapErr builds an *Error around a cause.
+func WrapErr(code Code, op string, err error, msg string) *Error {
+	return &Error{Code: code, Op: op, Msg: msg, Err: err}
+}

@@ -1,0 +1,267 @@
+// Package guard is the engine's resource-governance layer. One Guard
+// accompanies each evaluation (or each enumeration walk, whose runs
+// share it) and enforces, under one roof: context cancellation and
+// deadlines, a wall-clock timeout, a derived-tuple budget (the memory
+// proxy), and the derivation budget. The engine checks it cooperatively
+// at stratum entries, fixpoint-round boundaries, and every derivation;
+// the expensive clock/context checks run only once per CheckInterval
+// derivations, so governance costs a counter increment on the hot path.
+//
+// The package also defines the typed error taxonomy (Error, Code) used
+// at the public boundary, and deterministic fault-injection hooks
+// (FailAfter, CancelAt, OracleFault) that power the chaos test suite.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// CheckInterval is the number of derivations between full context and
+// clock checkpoints. Budget counters are exact — they are checked on
+// every derivation and tuple — only the clock/context polling is
+// batched.
+const CheckInterval = 256
+
+// Limits bounds one evaluation; zero values mean unlimited.
+type Limits struct {
+	// Timeout is the wall-clock budget for the whole run (Enumerate:
+	// the whole walk). It combines with any context deadline; the
+	// earlier one wins.
+	Timeout time.Duration
+	// MaxTuples caps the number of newly materialized tuples (derived
+	// IDB tuples plus ID-relation rows) — the engine's memory proxy.
+	MaxTuples int
+	// MaxDerivations caps body instantiations, the engine's work proxy.
+	MaxDerivations int
+}
+
+// Fault describes a deterministic failure injection for chaos tests.
+// The zero value injects nothing; build faults with FailAfter, CancelAt
+// and OracleFault.
+type Fault struct {
+	// PanicAfter panics once this many derivations have completed
+	// (0 = off), exercising the recover() path at the entry points.
+	PanicAfter int
+	// CancelStratum cancels the run's context on entry to this stratum
+	// index when CancelSet (a plain int would make stratum 0
+	// uninjectable).
+	CancelStratum int
+	// CancelSet arms CancelStratum.
+	CancelSet bool
+	// OracleErr fails the next ID-relation materialization with this
+	// error.
+	OracleErr error
+}
+
+// FailAfter returns a fault that panics after n derivations.
+func FailAfter(n int) Fault { return Fault{PanicAfter: n} }
+
+// CancelAt returns a fault that cancels the context when evaluation
+// enters stratum i.
+func CancelAt(i int) Fault { return Fault{CancelStratum: i, CancelSet: true} }
+
+// OracleFault returns a fault that fails the next ID-relation
+// materialization with err.
+func OracleFault(err error) Fault { return Fault{OracleErr: err} }
+
+// Guard carries the governance state of one evaluation. It is not safe
+// for concurrent use; the engine is single-threaded by design.
+type Guard struct {
+	ctx         context.Context
+	cancel      context.CancelFunc
+	limits      Limits
+	fault       Fault
+	deadline    time.Time
+	hasDeadline bool
+	op          string
+
+	derivations int
+	tuples      int
+	stratum     int
+	sinceCheck  int
+}
+
+// New builds a guard for ctx (nil means context.Background()) under the
+// given limits. The wall-clock deadline is fixed at creation time, so a
+// guard shared by an enumeration walk budgets the whole walk.
+func New(ctx context.Context, l Limits) *Guard {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g := &Guard{ctx: ctx, limits: l, op: "eval"}
+	if l.Timeout > 0 {
+		g.deadline = time.Now().Add(l.Timeout)
+		g.hasDeadline = true
+	}
+	if d, ok := ctx.Deadline(); ok && (!g.hasDeadline || d.Before(g.deadline)) {
+		g.deadline = d
+		g.hasDeadline = true
+	}
+	return g
+}
+
+// SetOp labels subsequent errors with the public entry point being
+// served ("eval", "enumerate", "query").
+func (g *Guard) SetOp(op string) { g.op = op }
+
+// Op returns the current entry-point label.
+func (g *Guard) Op() string { return g.op }
+
+// Inject arms a fault. CancelAt faults wrap the guard's context with a
+// cancelable child so the injection is indistinguishable from a real
+// caller cancellation.
+func (g *Guard) Inject(f Fault) {
+	g.fault = f
+	if f.CancelSet {
+		g.ctx, g.cancel = context.WithCancel(g.ctx)
+	}
+}
+
+// Active reports whether any governance check can fire: engines skip
+// the per-derivation accounting entirely for inactive guards, keeping
+// ungoverned runs at seed speed.
+func (g *Guard) Active() bool {
+	return g.hasDeadline || g.limits.MaxTuples > 0 || g.limits.MaxDerivations > 0 ||
+		g.fault.PanicAfter > 0 || g.fault.CancelSet || g.fault.OracleErr != nil ||
+		g.ctx.Done() != nil
+}
+
+// StartStratum notes entry into stratum i, fires any CancelAt fault,
+// and runs a full checkpoint.
+func (g *Guard) StartStratum(i int) error {
+	g.stratum = i
+	if g.fault.CancelSet && g.fault.CancelStratum == i && g.cancel != nil {
+		g.cancel()
+	}
+	return g.Checkpoint()
+}
+
+// Stratum reports the stratum currently under evaluation (for error
+// context).
+func (g *Guard) Stratum() int { return g.stratum }
+
+// Checkpoint runs the full context + clock check. The engine calls it
+// at stratum entries and fixpoint-round boundaries; Derivation calls it
+// every CheckInterval derivations.
+func (g *Guard) Checkpoint() error {
+	g.sinceCheck = 0
+	if err := g.ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return WrapErr(DeadlineExceeded, g.op, err, "context deadline exceeded")
+		}
+		return WrapErr(Canceled, g.op, err, "evaluation canceled")
+	}
+	if g.hasDeadline && time.Now().After(g.deadline) {
+		return WrapErr(DeadlineExceeded, g.op, context.DeadlineExceeded,
+			fmt.Sprintf("wall-clock budget %s exceeded", g.limits.Timeout))
+	}
+	return nil
+}
+
+// Derivation accounts one body instantiation: it fires PanicAfter
+// faults, enforces the derivation budget exactly (the error fires on
+// the instantiation after the budget is spent, so a completed run shows
+// exactly MaxDerivations derivations), and checkpoints the clock and
+// context every CheckInterval calls. clause is the source text of the
+// clause being instantiated, for the error message.
+//
+// This is the engine's hot path: the cold branches live in outlined
+// helpers so Derivation itself stays within the inlining budget, and
+// governance costs a handful of compares per derivation.
+func (g *Guard) Derivation(clause string) error {
+	if g.fault.PanicAfter > 0 && g.derivations >= g.fault.PanicAfter {
+		g.firePanic()
+	}
+	if g.limits.MaxDerivations > 0 && g.derivations >= g.limits.MaxDerivations {
+		return g.derivationExhausted(clause)
+	}
+	g.derivations++
+	g.sinceCheck++
+	if g.sinceCheck >= CheckInterval {
+		return g.Checkpoint()
+	}
+	return nil
+}
+
+// DerivationGrant is the amortized form of Derivation used by the
+// engine's innermost loop: the engine reports the `used` derivations
+// performed since the last grant, the guard settles them (firing any
+// due fault, budget error, or checkpoint trip exactly as Derivation
+// would), and returns how many further derivations may run before the
+// next consultation — the distance to the nearest due event, capped at
+// CheckInterval. The engine then only decrements a local counter per
+// derivation. Usage may lag by up to one outstanding grant between
+// consultations.
+func (g *Guard) DerivationGrant(used int, clause string) (int, error) {
+	g.derivations += used
+	if g.fault.PanicAfter > 0 && g.derivations >= g.fault.PanicAfter {
+		g.firePanic()
+	}
+	if g.limits.MaxDerivations > 0 && g.derivations >= g.limits.MaxDerivations {
+		return 0, g.derivationExhausted(clause)
+	}
+	if err := g.Checkpoint(); err != nil {
+		return 0, err
+	}
+	n := CheckInterval
+	if g.limits.MaxDerivations > 0 {
+		if r := g.limits.MaxDerivations - g.derivations; r < n {
+			n = r
+		}
+	}
+	if g.fault.PanicAfter > 0 {
+		if r := g.fault.PanicAfter - g.derivations; r < n {
+			n = r
+		}
+	}
+	return n, nil
+}
+
+func (g *Guard) firePanic() {
+	panic(fmt.Sprintf("guard: injected fault after %d derivations", g.derivations))
+}
+
+func (g *Guard) derivationExhausted(clause string) error {
+	return Errorf(ResourceExhausted, g.op,
+		"derivation budget %d exceeded (clause %s)", g.limits.MaxDerivations, clause)
+}
+
+// TryTuples reserves n newly materialized tuples against the tuple
+// budget, erroring — without reserving — when the reservation would
+// exceed it. With per-tuple reservations the budget is exact: a tripped
+// run holds exactly MaxTuples derived tuples. Called once per stored
+// tuple, so the error path is outlined to keep TryTuples inlinable.
+func (g *Guard) TryTuples(n int) error {
+	held := g.tuples + n
+	if m := g.limits.MaxTuples; m > 0 && held > m {
+		return g.tuplesExhausted(n)
+	}
+	g.tuples = held
+	return nil
+}
+
+func (g *Guard) tuplesExhausted(n int) error {
+	return Errorf(ResourceExhausted, g.op,
+		"tuple budget %d exceeded (%d held, %d requested)", g.limits.MaxTuples, g.tuples, n)
+}
+
+// AtTupleLimit reports whether the tuple budget is fully reserved; the
+// engine uses it to reject the next genuinely-new tuple before storing
+// it.
+func (g *Guard) AtTupleLimit() bool {
+	return g.limits.MaxTuples > 0 && g.tuples >= g.limits.MaxTuples
+}
+
+// TakeOracleFault consumes and returns an injected oracle fault, or
+// nil.
+func (g *Guard) TakeOracleFault() error {
+	err := g.fault.OracleErr
+	g.fault.OracleErr = nil
+	return err
+}
+
+// Usage reports the budget counters (for tests and diagnostics).
+func (g *Guard) Usage() (derivations, tuples int) { return g.derivations, g.tuples }

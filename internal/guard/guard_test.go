@@ -1,0 +1,200 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInactiveGuardNeverTrips(t *testing.T) {
+	g := New(nil, Limits{})
+	if g.Active() {
+		t.Fatalf("background guard with no limits reported active")
+	}
+	for i := 0; i < 3*CheckInterval; i++ {
+		if err := g.Derivation("c"); err != nil {
+			t.Fatalf("derivation %d: %v", i, err)
+		}
+	}
+	if err := g.TryTuples(1 << 20); err != nil {
+		t.Fatalf("tuples: %v", err)
+	}
+	if err := g.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+}
+
+func TestDerivationBudgetExact(t *testing.T) {
+	g := New(nil, Limits{MaxDerivations: 5})
+	for i := 0; i < 5; i++ {
+		if err := g.Derivation("c"); err != nil {
+			t.Fatalf("derivation %d tripped early: %v", i, err)
+		}
+	}
+	err := g.Derivation("tc(X, Y) :- e(X, Y).")
+	var ge *Error
+	if !errors.As(err, &ge) || ge.Code != ResourceExhausted {
+		t.Fatalf("want ResourceExhausted, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "tc(X, Y)") {
+		t.Fatalf("error lost the clause context: %v", err)
+	}
+	if d, _ := g.Usage(); d != 5 {
+		t.Fatalf("derivations counted = %d, want exactly 5", d)
+	}
+}
+
+func TestTupleBudgetExact(t *testing.T) {
+	g := New(nil, Limits{MaxTuples: 3})
+	for i := 0; i < 3; i++ {
+		if err := g.TryTuples(1); err != nil {
+			t.Fatalf("tuple %d tripped early: %v", i, err)
+		}
+	}
+	if !g.AtTupleLimit() {
+		t.Fatalf("AtTupleLimit false at the limit")
+	}
+	err := g.TryTuples(1)
+	var ge *Error
+	if !errors.As(err, &ge) || ge.Code != ResourceExhausted {
+		t.Fatalf("want ResourceExhausted, got %v", err)
+	}
+	if _, n := g.Usage(); n != 3 {
+		t.Fatalf("failed reservation was counted: tuples = %d", n)
+	}
+}
+
+func TestBatchTupleReservation(t *testing.T) {
+	g := New(nil, Limits{MaxTuples: 10})
+	if err := g.TryTuples(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.TryTuples(4); err == nil {
+		t.Fatalf("over-budget batch accepted")
+	}
+	if err := g.TryTuples(3); err != nil {
+		t.Fatalf("exact-fit batch rejected: %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{})
+	if !g.Active() {
+		t.Fatalf("cancelable guard reported inactive")
+	}
+	if err := g.Checkpoint(); err != nil {
+		t.Fatalf("premature trip: %v", err)
+	}
+	cancel()
+	err := g.Checkpoint()
+	var ge *Error
+	if !errors.As(err, &ge) || ge.Code != Canceled {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false")
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := New(ctx, Limits{}).Checkpoint()
+	var ge *Error
+	if !errors.As(err, &ge) || ge.Code != DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(err, context.DeadlineExceeded) = false")
+	}
+}
+
+func TestWallClockTimeout(t *testing.T) {
+	g := New(nil, Limits{Timeout: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	err := g.Checkpoint()
+	var ge *Error
+	if !errors.As(err, &ge) || ge.Code != DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wall-clock timeout should wrap context.DeadlineExceeded")
+	}
+}
+
+func TestDerivationBatchedCheckpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{})
+	cancel()
+	// The trip must surface within one CheckInterval of derivations.
+	for i := 0; i < CheckInterval-1; i++ {
+		if err := g.Derivation("c"); err != nil {
+			t.Fatalf("derivation %d tripped before the batch boundary: %v", i, err)
+		}
+	}
+	if err := g.Derivation("c"); err == nil {
+		t.Fatalf("cancellation not observed at the batch boundary")
+	}
+}
+
+func TestCancelAtStratumFault(t *testing.T) {
+	g := New(nil, Limits{})
+	g.Inject(CancelAt(2))
+	for i := 0; i < 2; i++ {
+		if err := g.StartStratum(i); err != nil {
+			t.Fatalf("stratum %d tripped early: %v", i, err)
+		}
+	}
+	err := g.StartStratum(2)
+	var ge *Error
+	if !errors.As(err, &ge) || ge.Code != Canceled {
+		t.Fatalf("want Canceled at stratum 2, got %v", err)
+	}
+	if g.Stratum() != 2 {
+		t.Fatalf("stratum context = %d", g.Stratum())
+	}
+}
+
+func TestFailAfterFaultPanics(t *testing.T) {
+	g := New(nil, Limits{})
+	g.Inject(FailAfter(3))
+	for i := 0; i < 3; i++ {
+		if err := g.Derivation("c"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("FailAfter fault did not panic")
+		}
+	}()
+	_ = g.Derivation("c")
+}
+
+func TestOracleFaultConsumedOnce(t *testing.T) {
+	g := New(nil, Limits{})
+	want := fmt.Errorf("boom")
+	g.Inject(OracleFault(want))
+	if got := g.TakeOracleFault(); got != want {
+		t.Fatalf("TakeOracleFault = %v", got)
+	}
+	if got := g.TakeOracleFault(); got != nil {
+		t.Fatalf("oracle fault fired twice: %v", got)
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	e := WrapErr(Canceled, "enumerate", context.Canceled, "evaluation canceled")
+	for _, want := range []string{"idlog:", "enumerate", "canceled"} {
+		if !strings.Contains(e.Error(), want) {
+			t.Fatalf("error %q missing %q", e.Error(), want)
+		}
+	}
+	if Code(99).String() == "" {
+		t.Fatalf("unknown code renders empty")
+	}
+}

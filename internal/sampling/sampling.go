@@ -97,6 +97,14 @@ func Program(s Spec) (*ast.Program, error) {
 // Sample runs the sampling program against db with a seeded random
 // oracle and returns the sample relation together with the run result.
 func Sample(s Spec, db *core.Database, seed uint64) (*relation.Relation, *core.Result, error) {
+	return SampleWith(s, db, seed, core.Options{})
+}
+
+// SampleWith is Sample under caller-supplied evaluation options —
+// in particular a guard governing the run (opts.Oracle is overridden
+// by the seeded oracle). A tripped run propagates the partial result
+// with its typed error.
+func SampleWith(s Spec, db *core.Database, seed uint64, opts core.Options) (*relation.Relation, *core.Result, error) {
 	prog, err := Program(s)
 	if err != nil {
 		return nil, nil, err
@@ -105,9 +113,10 @@ func Sample(s Spec, db *core.Database, seed uint64) (*relation.Relation, *core.R
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := core.Eval(info, db, core.Options{Oracle: relation.RandomOracle{Seed: seed}})
+	opts.Oracle = relation.RandomOracle{Seed: seed}
+	res, err := core.Eval(info, db, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, res, err
 	}
 	return res.Relation(s.output()), res, nil
 }
@@ -171,11 +180,24 @@ func Check(s Spec, sample, base *relation.Relation) error {
 // selected; used to assess sampling uniformity (and by the E1
 // experiment's fairness report).
 func Frequencies(s Spec, db *core.Database, seeds []uint64) (map[string]int, error) {
+	return FrequenciesWith(s, db, seeds, core.Options{})
+}
+
+// FrequenciesWith is Frequencies under caller-supplied evaluation
+// options. The guard (if any) governs the whole sweep: it is
+// checkpointed between seeds, and a trip returns the counts gathered so
+// far with the typed error.
+func FrequenciesWith(s Spec, db *core.Database, seeds []uint64, opts core.Options) (map[string]int, error) {
 	freq := map[string]int{}
 	for _, seed := range seeds {
-		sample, _, err := Sample(s, db, seed)
+		if opts.Guard != nil {
+			if err := opts.Guard.Checkpoint(); err != nil {
+				return freq, err
+			}
+		}
+		sample, _, err := SampleWith(s, db, seed, opts)
 		if err != nil {
-			return nil, err
+			return freq, err
 		}
 		for _, t := range sample.Tuples() {
 			freq[t.String()]++

@@ -7,7 +7,7 @@
 //
 // Format (all integers are uvarint unless noted):
 //
-//	magic "IDLOGDB1"
+//	magic "IDLOGDB2"
 //	relationCount
 //	per relation:
 //	  nameLen, name
@@ -17,12 +17,21 @@
 //	    tag byte 'u' or 'i'
 //	    'u': strLen, str (the constant's name; re-interned on load)
 //	    'i': zigzag varint (int64)
+//	  crc32 (IEEE, 4 bytes big-endian, over the relation block above)
+//	end of file (trailing bytes are rejected)
+//
+// The per-relation CRC-32 turns silent corruption — bit rot, torn
+// writes, truncation — into a typed ErrCorruptSnapshot instead of
+// garbage data. Snapshots in the previous "IDLOGDB1" format (identical
+// but without the checksums) are still readable.
 package storage
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -32,10 +41,94 @@ import (
 	"idlog/internal/value"
 )
 
-const magic = "IDLOGDB1"
+const (
+	magic = "IDLOGDB2"
+	// magicV1 is the checksum-less legacy format, still accepted on
+	// read.
+	magicV1 = "IDLOGDB1"
+)
 
 // maxStringLen bounds decoded string lengths as a corruption guard.
 const maxStringLen = 1 << 20
+
+// ErrCorruptSnapshot reports a snapshot that is corrupted, truncated,
+// or not a snapshot at all. Every decode failure wraps it, so callers
+// test with errors.Is(err, storage.ErrCorruptSnapshot).
+var ErrCorruptSnapshot = errors.New("corrupt or truncated snapshot")
+
+// corruptf builds a decode error wrapping ErrCorruptSnapshot.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("storage: %s: %w", fmt.Sprintf(format, args...), ErrCorruptSnapshot)
+}
+
+// crcWriter tees everything written through it into a running CRC-32.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) reset() { cw.crc = 0 }
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+func (cw *crcWriter) WriteByte(b byte) error {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, []byte{b})
+	return cw.w.WriteByte(b)
+}
+
+func (cw *crcWriter) WriteString(s string) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, []byte(s))
+	return cw.w.WriteString(s)
+}
+
+// writeSum appends the block checksum (uncksummed itself) and resets.
+func (cw *crcWriter) writeSum() error {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], cw.crc)
+	_, err := cw.w.Write(buf[:])
+	cw.crc = 0
+	return err
+}
+
+// crcReader mirrors crcWriter on the read side.
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (cr *crcReader) reset() { cr.crc = 0 }
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+// checkSum reads the stored block checksum (not itself checksummed)
+// and compares it with the running one.
+func (cr *crcReader) checkSum(block string) error {
+	want := cr.crc
+	var buf [4]byte
+	if _, err := io.ReadFull(cr.r, buf[:]); err != nil {
+		return corruptf("%s: reading checksum: %v", block, err)
+	}
+	cr.crc = 0
+	if got := binary.BigEndian.Uint32(buf[:]); got != want {
+		return corruptf("%s: checksum mismatch (stored %08x, computed %08x)", block, got, want)
+	}
+	return nil
+}
 
 // Write serializes db to w.
 func Write(w io.Writer, db *core.Database) error {
@@ -43,94 +136,115 @@ func Write(w io.Writer, db *core.Database) error {
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
+	cw := &crcWriter{w: bw}
 	names := db.Names()
 	writeUvarint(bw, uint64(len(names)))
 	for _, name := range names {
 		rel := db.Relation(name)
-		writeString(bw, name)
-		writeUvarint(bw, uint64(rel.Arity()))
+		cw.reset()
+		writeStringCRC(cw, name)
+		writeUvarintCRC(cw, uint64(rel.Arity()))
 		tuples := rel.Sorted()
-		writeUvarint(bw, uint64(len(tuples)))
+		writeUvarintCRC(cw, uint64(len(tuples)))
 		for _, t := range tuples {
 			for _, v := range t {
 				if v.IsInt() {
-					if err := bw.WriteByte('i'); err != nil {
+					if err := cw.WriteByte('i'); err != nil {
 						return err
 					}
-					writeVarint(bw, v.Num)
+					writeVarintCRC(cw, v.Num)
 				} else {
-					if err := bw.WriteByte('u'); err != nil {
+					if err := cw.WriteByte('u'); err != nil {
 						return err
 					}
-					writeString(bw, symbol.Name(v.Sym))
+					writeStringCRC(cw, symbol.Name(v.Sym))
 				}
 			}
+		}
+		if err := cw.writeSum(); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// Read deserializes a database from r.
+// Read deserializes a database from r, verifying the per-relation
+// checksums (current format) and rejecting trailing garbage.
 func Read(r io.Reader) (*core.Database, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("storage: reading header: %w", err)
+		return nil, corruptf("reading header: %v", err)
 	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("storage: bad magic %q (not an IDLOG snapshot)", head)
+	checksummed := true
+	switch string(head) {
+	case magic:
+	case magicV1:
+		checksummed = false
+	default:
+		return nil, corruptf("bad magic %q (not an IDLOG snapshot)", head)
 	}
 	nRels, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("storage: relation count: %w", err)
+		return nil, corruptf("relation count: %v", err)
 	}
+	cr := &crcReader{r: br}
 	db := core.NewDatabase()
 	for ri := uint64(0); ri < nRels; ri++ {
-		name, err := readString(br)
+		cr.reset()
+		name, err := readString(cr)
 		if err != nil {
-			return nil, fmt.Errorf("storage: relation name: %w", err)
+			return nil, corruptf("relation name: %v", err)
 		}
-		arity, err := binary.ReadUvarint(br)
+		arity, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("storage: %s arity: %w", name, err)
+			return nil, corruptf("%s arity: %v", name, err)
 		}
 		if arity > 1<<16 {
-			return nil, fmt.Errorf("storage: %s: implausible arity %d", name, arity)
+			return nil, corruptf("%s: implausible arity %d", name, arity)
 		}
-		nTuples, err := binary.ReadUvarint(br)
+		nTuples, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("storage: %s tuple count: %w", name, err)
+			return nil, corruptf("%s tuple count: %v", name, err)
 		}
 		rel := relation.New(name, int(arity))
 		for ti := uint64(0); ti < nTuples; ti++ {
 			t := make(value.Tuple, arity)
 			for c := uint64(0); c < arity; c++ {
-				tag, err := br.ReadByte()
+				tag, err := cr.ReadByte()
 				if err != nil {
-					return nil, fmt.Errorf("storage: %s tuple %d: %w", name, ti, err)
+					return nil, corruptf("%s tuple %d: %v", name, ti, err)
 				}
 				switch tag {
 				case 'i':
-					n, err := binary.ReadVarint(br)
+					n, err := binary.ReadVarint(cr)
 					if err != nil {
-						return nil, fmt.Errorf("storage: %s tuple %d: %w", name, ti, err)
+						return nil, corruptf("%s tuple %d: %v", name, ti, err)
 					}
 					t[c] = value.Int(n)
 				case 'u':
-					s, err := readString(br)
+					s, err := readString(cr)
 					if err != nil {
-						return nil, fmt.Errorf("storage: %s tuple %d: %w", name, ti, err)
+						return nil, corruptf("%s tuple %d: %v", name, ti, err)
 					}
 					t[c] = value.Str(s)
 				default:
-					return nil, fmt.Errorf("storage: %s tuple %d: bad tag %q", name, ti, tag)
+					return nil, corruptf("%s tuple %d: bad tag %q", name, ti, tag)
 				}
 			}
 			if _, err := rel.Insert(t); err != nil {
+				return nil, corruptf("%s tuple %d: %v", name, ti, err)
+			}
+		}
+		if checksummed {
+			if err := cr.checkSum("relation " + name); err != nil {
 				return nil, err
 			}
 		}
 		db.SetRelation(name, rel)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, corruptf("%d trailing bytes after the last relation", br.Buffered()+1)
 	}
 	return db, nil
 }
@@ -170,18 +284,24 @@ func writeUvarint(w *bufio.Writer, n uint64) {
 	_, _ = w.Write(buf[:k])
 }
 
-func writeVarint(w *bufio.Writer, n int64) {
+func writeUvarintCRC(w *crcWriter, n uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], n)
+	_, _ = w.Write(buf[:k])
+}
+
+func writeVarintCRC(w *crcWriter, n int64) {
 	var buf [binary.MaxVarintLen64]byte
 	k := binary.PutVarint(buf[:], n)
 	_, _ = w.Write(buf[:k])
 }
 
-func writeString(w *bufio.Writer, s string) {
-	writeUvarint(w, uint64(len(s)))
+func writeStringCRC(w *crcWriter, s string) {
+	writeUvarintCRC(w, uint64(len(s)))
 	_, _ = w.WriteString(s)
 }
 
-func readString(r *bufio.Reader) (string, error) {
+func readString(r *crcReader) (string, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err

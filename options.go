@@ -1,20 +1,37 @@
 package idlog
 
-import "idlog/internal/core"
+import (
+	"context"
+	"time"
 
-// Option configures Eval and Enumerate.
+	"idlog/internal/core"
+	"idlog/internal/guard"
+)
+
+// Option configures Eval, Enumerate, Query and their *Context variants.
 type Option func(*config)
 
 type config struct {
 	eval    core.Options
 	maxRuns int
+	limits  guard.Limits
+	fault   *guard.Fault
 }
 
-func buildConfig(opts []Option) *config {
+// buildConfig folds the options and arms the run's guard: one guard per
+// public call, carrying ctx, the wall-clock timeout, and the tuple and
+// derivation budgets. Enumerate passes the same config to every run of
+// its walk, so the budgets govern the walk as a whole.
+func buildConfig(ctx context.Context, opts []Option) *config {
 	c := &config{}
 	for _, o := range opts {
 		o(c)
 	}
+	g := guard.New(ctx, c.limits)
+	if c.fault != nil {
+		g.Inject(*c.fault)
+	}
+	c.eval.Guard = g
 	return c
 }
 
@@ -37,9 +54,29 @@ func WithNaive() Option {
 }
 
 // WithMaxDerivations aborts evaluation after n body instantiations; a
-// safety valve for generated or untrusted programs.
+// safety valve for generated or untrusted programs. On exhaustion the
+// partial model computed so far is returned alongside a
+// CodeResourceExhausted error.
 func WithMaxDerivations(n int) Option {
-	return func(c *config) { c.eval.MaxDerivations = n }
+	return func(c *config) { c.limits.MaxDerivations = n }
+}
+
+// WithTimeout bounds the run's wall-clock time (Enumerate: the whole
+// walk). It combines with any EvalContext deadline; the earlier wins.
+// On expiry the partial model is returned alongside a
+// CodeDeadlineExceeded error that matches
+// errors.Is(err, context.DeadlineExceeded).
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) { c.limits.Timeout = d }
+}
+
+// WithMaxTuples caps the number of tuples the run may materialize
+// (derived tuples plus ID-relation rows) — a memory ceiling for
+// untrusted programs, which can be made to compute any computable
+// relation (Theorem 6). On exhaustion the partial model is returned
+// alongside a CodeResourceExhausted error.
+func WithMaxTuples(n int) Option {
+	return func(c *config) { c.limits.MaxTuples = n }
 }
 
 // WithMaxRuns bounds the number of evaluation runs Enumerate may
@@ -53,4 +90,9 @@ func WithMaxRuns(n int) Option {
 // to the computed model.
 func WithTrace() Option {
 	return func(c *config) { c.eval.Trace = true }
+}
+
+// withFault arms a deterministic fault injection (chaos tests only).
+func withFault(f guard.Fault) Option {
+	return func(c *config) { c.fault = &f }
 }

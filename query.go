@@ -1,9 +1,11 @@
 package idlog
 
 import (
+	"context"
 	"fmt"
 
 	"idlog/internal/ast"
+	"idlog/internal/guard"
 	"idlog/internal/parser"
 )
 
@@ -16,9 +18,22 @@ import (
 // Query is what the CLI's interactive "?-" prompt runs; here it is
 // exposed for programs.
 func (p *Program) Query(db *Database, goal string, opts ...Option) (*QueryResult, error) {
+	return p.QueryContext(context.Background(), db, goal, opts...)
+}
+
+// QueryContext is Query honoring ctx and the governance options: a
+// malformed goal yields a CodeParseError, a tripped run returns the
+// bindings found so far alongside the typed error, and engine panics
+// surface as CodeInternal errors instead of killing the caller.
+func (p *Program) QueryContext(ctx context.Context, db *Database, goal string, opts ...Option) (qr *QueryResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			qr, err = nil, guard.Errorf(guard.Internal, "query", "panic: %v", r)
+		}
+	}()
 	wrapped, err := parser.Clause("query_wrapper_head :- " + goal + ".")
 	if err != nil {
-		return nil, fmt.Errorf("idlog: query: %w", err)
+		return nil, guard.WrapErr(guard.ParseError, "query", err, fmt.Sprintf("goal %q", goal))
 	}
 	ansPred := "ans"
 	for taken := true; taken; {
@@ -41,18 +56,33 @@ func (p *Program) Query(db *Database, goal string, opts ...Option) (*QueryResult
 	if err != nil {
 		return nil, err
 	}
-	res, err := compiled.Eval(db, opts...)
+	res, err := compiled.EvalContext(ctx, db, opts...)
 	if err != nil {
+		// A governed trip still carries the bindings derived so far.
+		if res != nil && res.Incomplete {
+			return buildQueryResult(vars, res, ansPred), err
+		}
 		return nil, err
 	}
+	return buildQueryResult(vars, res, ansPred), nil
+}
+
+// buildQueryResult projects the answer predicate's relation onto a
+// QueryResult. A missing relation (possible on partial models) yields
+// the empty result rather than a nil dereference.
+func buildQueryResult(vars []ast.Var, res *Result, ansPred string) *QueryResult {
 	qr := &QueryResult{}
 	for _, v := range vars {
 		qr.Vars = append(qr.Vars, v.Name)
 	}
-	for _, t := range res.Relation(ansPred).Sorted() {
+	rel := res.Relation(ansPred)
+	if rel == nil {
+		return qr
+	}
+	for _, t := range rel.Sorted() {
 		qr.Rows = append(qr.Rows, t)
 	}
-	return qr, nil
+	return qr
 }
 
 // QueryResult holds the bindings produced by Program.Query.
@@ -73,7 +103,7 @@ func (q *QueryResult) Holds() bool { return len(q.Rows) > 0 }
 func AddFactsText(db *Database, src string) error {
 	prog, err := parser.Program(src)
 	if err != nil {
-		return fmt.Errorf("idlog: facts: %w", err)
+		return guard.WrapErr(guard.ParseError, "facts", err, "")
 	}
 	for _, c := range prog.Clauses {
 		if !c.IsFact() {
