@@ -1,6 +1,8 @@
 // Benchmarks: one testing.B benchmark per experiment of EXPERIMENTS.md
 // (E1–E11). `go test -bench=. -benchmem` reports the raw costs; the
 // formatted tables with correctness checks come from cmd/idlogbench.
+// E12 (the idlogd server benchmark) lives in internal/bench/serverbench
+// only — importing internal/server here would cycle back to this package.
 package idlog
 
 import (

@@ -137,7 +137,11 @@ func main() {
 			}
 			preload = append(preload, prog.Clauses...)
 		}
-		runREPL(os.Stdin, os.Stdout, preload...)
+		runREPL(os.Stdin, os.Stdout, replLimits{
+			timeout:        *timeout,
+			maxTuples:      *maxTuples,
+			maxDerivations: *maxDerivations,
+		}, preload...)
 		return
 	}
 	if flag.NArg() != 1 {

@@ -7,17 +7,58 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"idlog"
 	"idlog/internal/ast"
 	"idlog/internal/parser"
 )
 
+// replLimits are the session's per-query resource budgets. Zero means
+// unlimited. They seed from the CLI's -timeout / -max-tuples /
+// -max-derivations flags and are adjustable with :limits.
+type replLimits struct {
+	timeout        time.Duration
+	maxTuples      int
+	maxDerivations int
+}
+
+// options renders the limits as engine options.
+func (l replLimits) options() []idlog.Option {
+	var opts []idlog.Option
+	if l.timeout > 0 {
+		opts = append(opts, idlog.WithTimeout(l.timeout))
+	}
+	if l.maxTuples > 0 {
+		opts = append(opts, idlog.WithMaxTuples(l.maxTuples))
+	}
+	if l.maxDerivations > 0 {
+		opts = append(opts, idlog.WithMaxDerivations(l.maxDerivations))
+	}
+	return opts
+}
+
+func (l replLimits) String() string {
+	show := func(n int) string {
+		if n <= 0 {
+			return "off"
+		}
+		return strconv.Itoa(n)
+	}
+	t := "off"
+	if l.timeout > 0 {
+		t = l.timeout.String()
+	}
+	return fmt.Sprintf("limits: timeout=%s, max-tuples=%s, max-derivations=%s",
+		t, show(l.maxTuples), show(l.maxDerivations))
+}
+
 // repl is the interactive session state.
 type repl struct {
 	clauses []*ast.Clause
 	seed    uint64
 	random  bool
+	limits  replLimits
 	out     io.Writer
 }
 
@@ -28,14 +69,19 @@ const replHelp = `commands:
   :load FILE                     load clauses/facts from a file
   :seed N                        use the random oracle with seed N
   :sorted                        back to the deterministic oracle
+  :limits [KEY VALUE ...]        show or set per-query budgets; keys:
+                                 timeout (duration), max-tuples,
+                                 max-derivations (0 = off)
   :clear                         drop all session clauses
   :help                          this text
-  :quit                          leave`
+  :quit                          leave
+(':' commands also answer to a '\' prefix, e.g. \limits)`
 
 // runREPL reads commands from r until EOF or :quit. Preloaded clauses
-// (from -facts / -load) seed the session program.
-func runREPL(r io.Reader, w io.Writer, preload ...*ast.Clause) {
-	s := &repl{out: w, clauses: preload}
+// (from -facts / -load) seed the session program; limits seed the
+// per-query budgets.
+func runREPL(r io.Reader, w io.Writer, limits replLimits, preload ...*ast.Clause) {
+	s := &repl{out: w, clauses: preload, limits: limits}
 	fmt.Fprintln(w, "idlog interactive — :help for commands")
 	if len(preload) > 0 {
 		fmt.Fprintf(w, "preloaded %d clauses\n", len(preload))
@@ -58,7 +104,7 @@ func runREPL(r io.Reader, w io.Writer, preload ...*ast.Clause) {
 			prompt()
 			continue
 		}
-		if buf.Len() == 0 && strings.HasPrefix(trimmed, ":") {
+		if buf.Len() == 0 && (strings.HasPrefix(trimmed, ":") || strings.HasPrefix(trimmed, `\`)) {
 			if s.command(trimmed) {
 				return
 			}
@@ -75,9 +121,12 @@ func runREPL(r io.Reader, w io.Writer, preload ...*ast.Clause) {
 	}
 }
 
-// command handles a ':' directive; reports whether to quit.
+// command handles a ':' (or '\') directive; reports whether to quit.
 func (s *repl) command(line string) bool {
 	fields := strings.Fields(line)
+	if strings.HasPrefix(fields[0], `\`) {
+		fields[0] = ":" + fields[0][1:]
+	}
 	switch fields[0] {
 	case ":quit", ":q", ":exit":
 		fmt.Fprintln(s.out, "bye")
@@ -106,6 +155,8 @@ func (s *repl) command(line string) bool {
 		}
 		s.seed, s.random = n, true
 		fmt.Fprintf(s.out, "oracle: random, seed %d\n", n)
+	case ":limits":
+		s.limitsCommand(fields[1:])
 	case ":load":
 		if len(fields) != 2 {
 			fmt.Fprintln(s.out, "usage: :load FILE")
@@ -127,6 +178,47 @@ func (s *repl) command(line string) bool {
 		fmt.Fprintln(s.out, "unknown command; :help")
 	}
 	return false
+}
+
+// limitsCommand shows or sets the per-query budgets: KEY VALUE pairs
+// with keys timeout, max-tuples, max-derivations; 0 switches one off.
+func (s *repl) limitsCommand(args []string) {
+	if len(args)%2 != 0 {
+		fmt.Fprintln(s.out, "usage: :limits [timeout D] [max-tuples N] [max-derivations N]")
+		return
+	}
+	next := s.limits
+	for i := 0; i < len(args); i += 2 {
+		key, val := args[i], args[i+1]
+		switch key {
+		case "timeout":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				fmt.Fprintln(s.out, "bad timeout:", val)
+				return
+			}
+			next.timeout = d
+		case "max-tuples":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				fmt.Fprintln(s.out, "bad max-tuples:", val)
+				return
+			}
+			next.maxTuples = n
+		case "max-derivations":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				fmt.Fprintln(s.out, "bad max-derivations:", val)
+				return
+			}
+			next.maxDerivations = n
+		default:
+			fmt.Fprintln(s.out, "unknown limit:", key)
+			return
+		}
+	}
+	s.limits = next
+	fmt.Fprintln(s.out, s.limits)
 }
 
 // input handles a clause or a ?- query.
@@ -182,7 +274,7 @@ func (s *repl) query(body string) {
 		fmt.Fprintln(s.out, "error:", err)
 		return
 	}
-	var opts []idlog.Option
+	opts := s.limits.options()
 	if s.random {
 		opts = append(opts, idlog.WithSeed(s.seed))
 	}

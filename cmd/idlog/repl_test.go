@@ -8,7 +8,7 @@ import (
 func runSession(t *testing.T, input string) string {
 	t.Helper()
 	var out strings.Builder
-	runREPL(strings.NewReader(input), &out)
+	runREPL(strings.NewReader(input), &out, replLimits{})
 	return out.String()
 }
 
@@ -129,6 +129,66 @@ ans(a).
 `)
 	if !strings.Contains(out, "X = a") {
 		t.Fatalf("ans collision broke queries:\n%s", out)
+	}
+}
+
+func TestREPLLimitsCommand(t *testing.T) {
+	out := runSession(t, `
+:limits
+:limits max-derivations 1 timeout 30s
+e(a, b).
+e(b, c).
+tc(X, Y) :- e(X, Y).
+tc(X, Z) :- tc(X, Y), e(Y, Z).
+?- tc(X, Y).
+:limits max-derivations 0 timeout 0s
+?- tc(X, Y).
+:quit
+`)
+	// The default shows everything off; the set echoes the new values.
+	if !strings.Contains(out, "limits: timeout=off, max-tuples=off, max-derivations=off") {
+		t.Fatalf("default limits not shown:\n%s", out)
+	}
+	if !strings.Contains(out, "limits: timeout=30s, max-tuples=off, max-derivations=1") {
+		t.Fatalf("set limits not echoed:\n%s", out)
+	}
+	// First query trips the 1-derivation budget; after clearing it the
+	// same query succeeds.
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("budget did not trip:\n%s", out)
+	}
+	if !strings.Contains(out, "3 answer(s)") {
+		t.Fatalf("query after clearing limits failed:\n%s", out)
+	}
+}
+
+func TestREPLLimitsValidation(t *testing.T) {
+	out := runSession(t, `
+:limits timeout
+:limits timeout banana
+:limits max-tuples -3
+:limits widgets 7
+:quit
+`)
+	for _, want := range []string{"usage: :limits", "bad timeout", "bad max-tuples", "unknown limit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLBackslashCommands(t *testing.T) {
+	out := runSession(t, `
+\limits max-tuples 100
+p(a).
+\list
+\quit
+`)
+	if !strings.Contains(out, "limits: timeout=off, max-tuples=100, max-derivations=off") {
+		t.Fatalf("\\limits not honored:\n%s", out)
+	}
+	if !strings.Contains(out, "p(a).") || !strings.Contains(out, "bye") {
+		t.Fatalf("\\list or \\quit not honored:\n%s", out)
 	}
 }
 

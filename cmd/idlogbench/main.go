@@ -13,12 +13,14 @@ import (
 	"time"
 
 	"idlog/internal/bench"
+	"idlog/internal/bench/serverbench"
 )
 
 func main() {
 	suiteName := flag.String("suite", "quick", "experiment sizing: quick or full")
-	only := flag.String("only", "all", "run a single experiment (E1..E11) or all")
+	only := flag.String("only", "all", "run a single experiment (E1..E12) or all")
 	markdown := flag.Bool("md", false, "emit GitHub-flavoured markdown tables")
+	jsonOut := flag.Bool("json", false, "also write the tables to BENCH_<suite>.json")
 	flag.Parse()
 
 	var suite bench.Suite
@@ -34,6 +36,12 @@ func main() {
 
 	start := time.Now()
 	tables := bench.Run(suite, *only)
+	if *only == "" || *only == "all" || *only == "E12" {
+		s := time.Now()
+		tbl := serverbench.E12(suite.E12Clients, suite.E12Requests, suite.E12Emp[0], suite.E12Emp[1])
+		tbl.ElapsedNS = time.Since(s).Nanoseconds()
+		tables = append(tables, tbl)
+	}
 	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *only)
 		os.Exit(2)
@@ -47,6 +55,14 @@ func main() {
 		} else {
 			fmt.Print(t.Render())
 		}
+	}
+	if *jsonOut {
+		path := fmt.Sprintf("BENCH_%s.json", *suiteName)
+		if err := bench.NewReport(*suiteName, tables).WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 	fmt.Printf("\ntotal: %d experiments in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,197 @@
+// Command idlogd is the IDLOG query server: a long-lived daemon that
+// compiles programs once at startup (or on registration) and serves
+// queries over HTTP/JSON with per-request resource budgets, admission
+// control, named database sessions, and Prometheus-style metrics.
+//
+// Usage:
+//
+//	idlogd [flags] [program.idl ...]
+//
+// Each positional argument is compiled and registered under its base
+// name ("examples/programs/tc.idl" becomes program "tc"). More
+// programs can be registered at runtime via POST /v1/programs.
+//
+//	-addr addr            listen address (default :8344)
+//	-facts file           fact file(s) preloaded into the startup session (repeatable)
+//	-load file.idb        binary snapshot preloaded into the startup session
+//	-session name         name of the startup session (default "default")
+//	-max-concurrent n     worker-pool size (default GOMAXPROCS)
+//	-queue n              admission queue bound beyond the pool (default 64)
+//	-queue-wait d         max time a request waits for a worker slot (default 5s)
+//	-default-timeout d    per-request budget when none is given (default 10s)
+//	-max-timeout d        clamp on requested per-request timeouts (default 60s)
+//	-max-tuples n         default materialized-tuple budget (0 = none)
+//	-max-derivations n    default derivation budget (0 = none)
+//	-session-ttl d        evict sessions idle longer than this (default 15m)
+//	-drain-timeout d      grace period for in-flight requests on shutdown (default 10s)
+//
+// SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503 so
+// load balancers stop routing here, new evaluations are refused, and
+// in-flight requests get -drain-timeout to finish before the listener
+// closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"idlog"
+	"idlog/internal/server"
+	"idlog/internal/storage"
+)
+
+// daemonConfig is the parsed command line.
+type daemonConfig struct {
+	addr         string
+	programFiles []string
+	factFiles    []string
+	loadSnap     string
+	sessionName  string
+	drainTimeout time.Duration
+	server       server.Config
+}
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+// Set implements flag.Value.
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// parseFlags parses args into a daemonConfig.
+func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
+	dc := &daemonConfig{}
+	fs := flag.NewFlagSet("idlogd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&dc.addr, "addr", ":8344", "listen address")
+	var factFiles stringList
+	fs.Var(&factFiles, "facts", "fact file preloaded into the startup session (repeatable)")
+	fs.StringVar(&dc.loadSnap, "load", "", "binary snapshot preloaded into the startup session")
+	fs.StringVar(&dc.sessionName, "session", "default", "name of the startup session")
+	fs.IntVar(&dc.server.MaxConcurrent, "max-concurrent", runtime.GOMAXPROCS(0), "worker-pool size")
+	fs.IntVar(&dc.server.MaxQueue, "queue", 64, "admission queue bound beyond the pool")
+	fs.DurationVar(&dc.server.QueueWait, "queue-wait", 5*time.Second, "max time a request waits for a worker slot")
+	fs.DurationVar(&dc.server.DefaultTimeout, "default-timeout", 10*time.Second, "per-request budget when none is given")
+	fs.DurationVar(&dc.server.MaxTimeout, "max-timeout", 60*time.Second, "clamp on requested per-request timeouts")
+	fs.IntVar(&dc.server.DefaultMaxTuples, "max-tuples", 0, "default materialized-tuple budget (0 = none)")
+	fs.IntVar(&dc.server.DefaultMaxDerivations, "max-derivations", 0, "default derivation budget (0 = none)")
+	fs.DurationVar(&dc.server.SessionTTL, "session-ttl", 15*time.Minute, "evict sessions idle longer than this")
+	fs.DurationVar(&dc.drainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	dc.factFiles = factFiles
+	dc.programFiles = fs.Args()
+	return dc, nil
+}
+
+// programName derives the registration name from a program path:
+// the base name with its extension dropped.
+func programName(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// buildServer constructs the server and preloads programs, facts, and
+// snapshots per the config.
+func buildServer(dc *daemonConfig) (*server.Server, error) {
+	s := server.New(dc.server)
+	ok := false
+	defer func() {
+		if !ok {
+			s.Close()
+		}
+	}()
+	for _, f := range dc.programFiles {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.RegisterProgram(programName(f), string(src)); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+	}
+	if dc.loadSnap != "" || len(dc.factFiles) > 0 {
+		db := idlog.NewDatabase()
+		if dc.loadSnap != "" {
+			loaded, err := storage.LoadFile(dc.loadSnap)
+			if err != nil {
+				return nil, err
+			}
+			db = loaded
+		}
+		for _, f := range dc.factFiles {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			if err := idlog.AddFactsText(db, string(src)); err != nil {
+				return nil, fmt.Errorf("%s: %w", f, err)
+			}
+		}
+		if err := s.CreateSessionDB(dc.sessionName, db); err != nil {
+			return nil, err
+		}
+	}
+	ok = true
+	return s, nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	dc, err := parseFlags(args, stderr)
+	if err != nil {
+		return 2
+	}
+	s, err := buildServer(dc)
+	if err != nil {
+		fmt.Fprintln(stderr, "idlogd:", err)
+		return 1
+	}
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", dc.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "idlogd:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		fmt.Fprintln(stderr, "idlogd: draining")
+		s.Drain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), dc.drainTimeout)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(stdout, "idlogd: listening on %s (%d programs)\n", ln.Addr(), len(dc.programFiles))
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(stderr, "idlogd:", err)
+		return 1
+	}
+	<-done
+	return 0
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestProgramName(t *testing.T) {
+	for in, want := range map[string]string{
+		"tc.idl":                    "tc",
+		"examples/programs/tc.idl":  "tc",
+		"/abs/path/sample-dept.idl": "sample-dept",
+		"noext":                     "noext",
+	} {
+		if got := programName(in); got != want {
+			t.Errorf("programName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	dc, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-max-concurrent", "3", "-session-ttl", "1m",
+		"-facts", "a.facts", "-facts", "b.facts", "p1.idl", "p2.idl",
+	}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.addr != "127.0.0.1:0" || dc.server.MaxConcurrent != 3 || dc.server.SessionTTL != time.Minute {
+		t.Fatalf("parsed config = %+v", dc)
+	}
+	if len(dc.factFiles) != 2 || len(dc.programFiles) != 2 {
+		t.Fatalf("files = %v / %v", dc.factFiles, dc.programFiles)
+	}
+}
+
+// TestBuildServerAndServe preloads a program file and a fact file, then
+// round-trips a query over HTTP the way the daemon would serve it.
+func TestBuildServerAndServe(t *testing.T) {
+	dir := t.TempDir()
+	progFile := filepath.Join(dir, "tc.idl")
+	if err := os.WriteFile(progFile, []byte("tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), edge(Y, Z).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	factFile := filepath.Join(dir, "edges.facts")
+	if err := os.WriteFile(factFile, []byte("edge(a, b). edge(b, c).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dc, err := parseFlags([]string{"-facts", factFile, "-session", "boot", progFile}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := buildServer(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]any{
+		"program": "tc", "session": "boot", "predicates": []string{"tc"},
+	})
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("query: status %d", resp.StatusCode)
+	}
+	var qr struct {
+		Relations map[string]struct {
+			Text string `json:"text"`
+		} `json:"relations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := qr.Relations["tc"].Text, "tc{(a, b), (a, c), (b, c)}"; got != want {
+		t.Fatalf("tc = %q, want %q", got, want)
+	}
+}
+
+func TestBuildServerBadProgram(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.idl")
+	if err := os.WriteFile(bad, []byte("p(x :- q(x).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := parseFlags([]string{bad}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildServer(dc); err == nil {
+		t.Fatal("expected error for unparsable program")
+	}
+}

@@ -1,0 +1,214 @@
+package idlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// concurrencyDB builds a frozen database shared by every goroutine of
+// the stress tests: a branching graph for transitive closure and
+// negation, and an employee table for choice/sampling.
+func concurrencyDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	for i := 0; i < 30; i++ {
+		_ = db.Add("e", Strs(fmt.Sprintf("n%03d", i), fmt.Sprintf("n%03d", i+1)))
+		if i%3 == 0 {
+			_ = db.Add("e", Strs(fmt.Sprintf("n%03d", i), fmt.Sprintf("b%03d", i)))
+		}
+	}
+	for i := 0; i <= 31; i++ {
+		_ = db.Add("node", Strs(fmt.Sprintf("n%03d", i)))
+	}
+	_ = db.Add("start", Strs("n000"))
+	for d := 0; d < 5; d++ {
+		for e := 0; e < 6; e++ {
+			_ = db.Add("emp", Strs(fmt.Sprintf("e%d_%d", d, e), fmt.Sprintf("dept%d", d)))
+		}
+	}
+	db.Freeze()
+	return db
+}
+
+const concurrencyTC = `
+	tc(X, Y) :- e(X, Y).
+	tc(X, Y) :- e(X, Z), tc(Z, Y).
+`
+
+const concurrencyNeg = `
+	reach(X) :- start(X).
+	reach(Y) :- reach(X), e(X, Y).
+	unreached(X) :- node(X), not reach(X).
+`
+
+const concurrencyChoice = `
+	pick(N, D) :- emp[2](N, D, 0).
+`
+
+// fingerprintOf evaluates and fingerprints one predicate.
+func fingerprintOf(t *testing.T, p *Program, db *Database, pred string, opts ...Option) string {
+	t.Helper()
+	res, err := p.Eval(db, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Relation(pred).Fingerprint()
+}
+
+// TestConcurrentEvalSharedProgram runs many goroutines over ONE
+// compiled program and ONE frozen database — the idlogd sharing model —
+// and checks every result is identical to the sequential baseline.
+// Run with -race: it exercises the lazy-index freeze/publish path.
+func TestConcurrentEvalSharedProgram(t *testing.T) {
+	db := concurrencyDB(t)
+	tc := mustParse(t, concurrencyTC)
+	neg := mustParse(t, concurrencyNeg)
+	choice := mustParse(t, concurrencyChoice)
+
+	// Sequential baselines, computed before any concurrency.
+	wantTC := fingerprintOf(t, tc, db, "tc")
+	wantUnreached := fingerprintOf(t, neg, db, "unreached")
+	seeds := []uint64{1, 7, 42, 1000}
+	wantPick := make(map[uint64]string, len(seeds))
+	for _, s := range seeds {
+		wantPick[s] = fingerprintOf(t, choice, db, "pick", WithSeed(s))
+	}
+	goalRows := func(qr *QueryResult) string {
+		parts := make([]string, len(qr.Rows))
+		for i, r := range qr.Rows {
+			parts[i] = r.String()
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ";")
+	}
+	qr, err := tc.Query(db, "tc(n000, X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGoal := goalRows(qr)
+
+	const goroutines = 16
+	const iterations = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seed := seeds[g%len(seeds)]
+			for i := 0; i < iterations; i++ {
+				res, err := tc.Eval(db)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: tc eval: %w", g, err)
+					return
+				}
+				if got := res.Relation("tc").Fingerprint(); got != wantTC {
+					errs <- fmt.Errorf("goroutine %d: tc fingerprint diverged", g)
+					return
+				}
+				res, err = neg.Eval(db)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: neg eval: %w", g, err)
+					return
+				}
+				if got := res.Relation("unreached").Fingerprint(); got != wantUnreached {
+					errs <- fmt.Errorf("goroutine %d: unreached fingerprint diverged", g)
+					return
+				}
+				res, err = choice.Eval(db, WithSeed(seed))
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: choice eval: %w", g, err)
+					return
+				}
+				if got := res.Relation("pick").Fingerprint(); got != wantPick[seed] {
+					errs <- fmt.Errorf("goroutine %d: seed %d pick fingerprint diverged", g, seed)
+					return
+				}
+				qr, err := tc.Query(db, "tc(n000, X)")
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: query: %w", g, err)
+					return
+				}
+				if got := goalRows(qr); got != wantGoal {
+					errs <- fmt.Errorf("goroutine %d: goal rows diverged", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentEnumerateSharedProgram checks that concurrent
+// enumerations over the shared frozen database all see the same answer
+// set as a sequential enumeration.
+func TestConcurrentEnumerateSharedProgram(t *testing.T) {
+	// A small employee table keeps the full answer space (3^2 = 9
+	// choice combinations) well inside the run budget.
+	db := NewDatabase()
+	for d := 0; d < 2; d++ {
+		for e := 0; e < 3; e++ {
+			_ = db.Add("emp", Strs(fmt.Sprintf("e%d_%d", d, e), fmt.Sprintf("dept%d", d)))
+		}
+	}
+	db.Freeze()
+	choice := mustParse(t, concurrencyChoice)
+
+	answerSet := func(answers []*Answer) string {
+		fps := make([]string, len(answers))
+		for i, a := range answers {
+			fps[i] = a.Relations["pick"].Fingerprint()
+		}
+		sort.Strings(fps)
+		return strings.Join(fps, "|")
+	}
+	baseline, err := choice.Enumerate(db, []string{"pick"}, WithMaxRuns(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := answerSet(baseline)
+	if len(baseline) == 0 {
+		t.Fatal("baseline enumeration found no answers")
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			answers, err := choice.Enumerate(db, []string{"pick"}, WithMaxRuns(2000))
+			if err != nil {
+				errs <- fmt.Errorf("goroutine %d: enumerate: %w", g, err)
+				return
+			}
+			if got := answerSet(answers); got != want {
+				errs <- fmt.Errorf("goroutine %d: answer set diverged (%d answers, want %d)",
+					g, len(answers), len(baseline))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// mustParse compiles source or fails the test.
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

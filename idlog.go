@@ -22,6 +22,17 @@
 // (Theorem 2), optimizes DATALOG programs by rewriting existential
 // arguments into ID-literals (§4), and can enumerate the full answer set
 // of a non-deterministic query on small inputs.
+//
+// # Concurrency
+//
+// A compiled *Program is immutable and safe for concurrent use. A
+// *Database is single-goroutine while mutable; calling Database.Freeze
+// makes it immutable and safe to share across any number of concurrent
+// Eval/Enumerate/Query/Sample calls (lazy secondary indexes are then
+// built once under a lock and published atomically). Database.Thaw
+// returns a fresh mutable copy for deriving the next snapshot. This
+// freeze/thaw contract is what cmd/idlogd builds on to serve many
+// queries over one shared program and database.
 package idlog
 
 import (
@@ -46,7 +57,9 @@ import (
 // Re-exported foundation types. These aliases make the public API
 // self-contained without duplicating the implementations.
 type (
-	// Database holds the input (EDB) relations.
+	// Database holds the input (EDB) relations. Mutable databases are
+	// single-goroutine; Freeze makes one immutable and shareable by
+	// concurrent evaluations, Thaw copies it back into a mutable one.
 	Database = core.Database
 	// Result is one computed perfect model with its statistics.
 	Result = core.Result

@@ -32,6 +32,9 @@ type Table struct {
 	Rows [][]string
 	// Notes carries caveats or derived observations.
 	Notes []string
+	// ElapsedNS is the wall-clock cost of generating the table,
+	// recorded by Run for the JSON report.
+	ElapsedNS int64
 }
 
 // Render formats the table for terminals.

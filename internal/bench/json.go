@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable form of one idlogbench invocation,
+// written as BENCH_<suite>.json so CI runs and notebooks can track the
+// experiment tables without scraping the rendered text.
+type Report struct {
+	Suite       string        `json:"suite"`
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	ElapsedMS   float64       `json:"elapsed_ms"`
+	Tables      []TableRecord `json:"tables"`
+}
+
+// TableRecord is one experiment table in the report.
+type TableRecord struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Claim     string     `json:"claim"`
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+// NewReport assembles a report from finished tables.
+func NewReport(suite string, tables []*Table) *Report {
+	r := &Report{
+		Suite:       suite,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+	for _, t := range tables {
+		elapsed := float64(t.ElapsedNS) / 1e6
+		r.ElapsedMS += elapsed
+		r.Tables = append(r.Tables, TableRecord{
+			ID:        t.ID,
+			Title:     t.Title,
+			Claim:     t.Claim,
+			Columns:   t.Columns,
+			Rows:      t.Rows,
+			Notes:     t.Notes,
+			ElapsedMS: elapsed,
+		})
+	}
+	return r
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	tables := []*Table{{
+		ID:        "E1",
+		Title:     "witness invariance",
+		Claim:     "claim text",
+		Columns:   []string{"n", "ms"},
+		Rows:      [][]string{{"10", "0.5"}, {"20", "1.2"}},
+		Notes:     []string{"a note"},
+		ElapsedNS: 2_500_000,
+	}}
+	path := filepath.Join(t.TempDir(), "BENCH_quick.json")
+	if err := NewReport("quick", tables).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Suite != "quick" || got.GoVersion == "" || got.GeneratedAt == "" {
+		t.Fatalf("report header = %+v", got)
+	}
+	if len(got.Tables) != 1 || got.Tables[0].ID != "E1" || got.Tables[0].ElapsedMS != 2.5 {
+		t.Fatalf("tables = %+v", got.Tables)
+	}
+	if len(got.Tables[0].Rows) != 2 || got.Tables[0].Rows[1][1] != "1.2" {
+		t.Fatalf("rows = %+v", got.Tables[0].Rows)
+	}
+}
+
+func TestRunStampsElapsed(t *testing.T) {
+	tables := Run(Suite{E6Chains: []int{8}, E6Grids: []int{2}}, "E6")
+	if len(tables) != 1 {
+		t.Fatalf("Run returned %d tables", len(tables))
+	}
+	if tables[0].ElapsedNS <= 0 {
+		t.Fatalf("ElapsedNS not stamped: %d", tables[0].ElapsedNS)
+	}
+}

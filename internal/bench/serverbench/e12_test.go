@@ -1,0 +1,17 @@
+package serverbench
+
+import (
+	"testing"
+)
+
+func TestE12SmallRun(t *testing.T) {
+	tbl := E12([]int{1, 2}, 8, 2, 4)
+	if tbl.ID != "E12" || len(tbl.Rows) != 2 {
+		t.Fatalf("table = %+v", tbl)
+	}
+	for _, row := range tbl.Rows {
+		if row[2] != "0" {
+			t.Fatalf("row %v reports errors: some responses failed the sampling invariant", row)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package bench
 
+import "time"
+
 // Suite bundles the experiment parameterizations.
 type Suite struct {
 	// E1Sizes are (departments, employees-per-department) pairs.
@@ -32,6 +34,13 @@ type Suite struct {
 	E11Chain int
 	E11Grid  int
 	E11Emp   [2]int
+	// E12Clients are the concurrency levels for the server benchmark,
+	// E12Requests the request count per level, E12Emp its employee
+	// table size. Run by internal/bench/serverbench (kept out of this
+	// package so the root benchmarks don't import the server).
+	E12Clients  []int
+	E12Requests int
+	E12Emp      [2]int
 }
 
 // Quick returns a suite sized to finish in a few seconds.
@@ -54,6 +63,9 @@ func Quick() Suite {
 		E11Chain:    128,
 		E11Grid:     8,
 		E11Emp:      [2]int{20, 200},
+		E12Clients:  []int{1, 8, 64},
+		E12Requests: 192,
+		E12Emp:      [2]int{10, 50},
 	}
 }
 
@@ -77,45 +89,35 @@ func Full() Suite {
 		E11Chain:    256,
 		E11Grid:     16,
 		E11Emp:      [2]int{50, 1000},
+		E12Clients:  []int{1, 8, 64},
+		E12Requests: 960,
+		E12Emp:      [2]int{20, 200},
 	}
 }
 
-// Run executes the selected experiments ("" or "all" = every one).
+// Run executes the selected experiments ("" or "all" = every one),
+// stamping each table with its generation cost.
 func Run(s Suite, only string) []*Table {
-	want := func(id string) bool { return only == "" || only == "all" || only == id }
 	var out []*Table
-	if want("E1") {
-		out = append(out, E1(s.E1Sizes, s.E1Seeds))
+	run := func(id string, f func() *Table) {
+		if only != "" && only != "all" && only != id {
+			return
+		}
+		start := time.Now()
+		t := f()
+		t.ElapsedNS = time.Since(start).Nanoseconds()
+		out = append(out, t)
 	}
-	if want("E2") {
-		out = append(out, E2(s.E2Sizes))
-	}
-	if want("E3") {
-		out = append(out, E3(s.E3Workloads))
-	}
-	if want("E4") {
-		out = append(out, E4(s.E4Sizes))
-	}
-	if want("E5") {
-		out = append(out, E5(s.E5Steps))
-	}
-	if want("E6") {
-		out = append(out, E6(s.E6Chains, s.E6Grids))
-	}
-	if want("E7") {
-		out = append(out, E7(s.E7Persons))
-	}
-	if want("E8") {
-		out = append(out, E8(s.E8Persons))
-	}
-	if want("E9") {
-		out = append(out, E9(s.E9Persons))
-	}
-	if want("E10") {
-		out = append(out, E10(s.E10Sizes, s.E10Seeds))
-	}
-	if want("E11") {
-		out = append(out, E11(s.E11Reps, s.E11Chain, s.E11Grid, s.E11Emp[0], s.E11Emp[1]))
-	}
+	run("E1", func() *Table { return E1(s.E1Sizes, s.E1Seeds) })
+	run("E2", func() *Table { return E2(s.E2Sizes) })
+	run("E3", func() *Table { return E3(s.E3Workloads) })
+	run("E4", func() *Table { return E4(s.E4Sizes) })
+	run("E5", func() *Table { return E5(s.E5Steps) })
+	run("E6", func() *Table { return E6(s.E6Chains, s.E6Grids) })
+	run("E7", func() *Table { return E7(s.E7Persons) })
+	run("E8", func() *Table { return E8(s.E8Persons) })
+	run("E9", func() *Table { return E9(s.E9Persons) })
+	run("E10", func() *Table { return E10(s.E10Sizes, s.E10Seeds) })
+	run("E11", func() *Table { return E11(s.E11Reps, s.E11Chain, s.E11Grid, s.E11Emp[0], s.E11Emp[1]) })
 	return out
 }

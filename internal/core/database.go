@@ -20,8 +20,15 @@ import (
 
 // Database holds the input (EDB) relations for a query: the paper's
 // input database r = (u-domain; r1, ..., rn).
+//
+// A Database is not safe for concurrent mutation. Freeze turns it into
+// an immutable snapshot that any number of evaluations may share:
+// evaluation never writes to input relations (derived tuples go to
+// per-run work relations), and freezing closes the one remaining
+// mutable path, the lazy secondary indexes built on first probe.
 type Database struct {
-	rels map[string]*relation.Relation
+	rels   map[string]*relation.Relation
+	frozen bool
 }
 
 // NewDatabase returns an empty database.
@@ -30,8 +37,12 @@ func NewDatabase() *Database {
 }
 
 // Add inserts a tuple into the named relation, creating the relation
-// with the tuple's arity on first use.
+// with the tuple's arity on first use. Adding to a frozen database
+// fails; Thaw a copy instead.
 func (db *Database) Add(name string, t value.Tuple) error {
+	if db.frozen {
+		return fmt.Errorf("database: add %s to frozen database", name)
+	}
 	r, ok := db.rels[name]
 	if !ok {
 		r = relation.New(name, len(t))
@@ -51,9 +62,44 @@ func (db *Database) AddAll(name string, tuples ...value.Tuple) error {
 	return nil
 }
 
-// SetRelation installs (or replaces) a whole relation under name.
+// SetRelation installs (or replaces) a whole relation under name. It
+// panics on a frozen database (a programming error: freeze last).
 func (db *Database) SetRelation(name string, r *relation.Relation) {
+	if db.frozen {
+		panic(fmt.Sprintf("database: SetRelation(%s) on frozen database", name))
+	}
 	db.rels[name] = r
+}
+
+// Freeze makes the database and every relation in it immutable and
+// safe for concurrent readers (see relation.Relation.Freeze). Call it
+// once, before sharing the database between goroutines; a frozen
+// database rejects Add and panics on SetRelation. It returns db for
+// chaining.
+func (db *Database) Freeze() *Database {
+	if db.frozen {
+		return db
+	}
+	for _, r := range db.rels {
+		r.Freeze()
+	}
+	db.frozen = true
+	return db
+}
+
+// Frozen reports whether Freeze has been called.
+func (db *Database) Frozen() bool { return db.frozen }
+
+// Thaw returns a mutable copy of the database: relation contents are
+// shared copy-on-insert (tuples are immutable by convention), the set
+// structure and indexes are independent. Use it to derive the next
+// snapshot from a frozen one: thaw, add facts, freeze, swap.
+func (db *Database) Thaw() *Database {
+	c := NewDatabase()
+	for n, r := range db.rels {
+		c.rels[n] = r.Clone()
+	}
+	return c
 }
 
 // Relation returns the named relation, or nil when absent.

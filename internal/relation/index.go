@@ -55,16 +55,56 @@ func sameCols(a, b []int) bool {
 // is a linear scan over the relation's (few) indexes, avoiding any
 // allocation on the hot probe path.
 func (r *Relation) ensureIndex(cols []int) *secondary {
+	if r.frozen {
+		return r.ensureIndexFrozen(cols)
+	}
 	for _, ix := range r.indexes {
 		if sameCols(ix.cols, cols) {
 			return ix
 		}
 	}
+	ix := r.buildIndex(cols)
+	r.indexes = append(r.indexes, ix)
+	return ix
+}
+
+// ensureIndexFrozen is ensureIndex for frozen relations: concurrent
+// probes read the published index list with one atomic load; a miss
+// builds the index under buildMu and publishes a fresh copy of the
+// list, never mutating a slice another goroutine may be scanning.
+func (r *Relation) ensureIndexFrozen(cols []int) *secondary {
+	if cur := r.shared.Load(); cur != nil {
+		for _, ix := range *cur {
+			if sameCols(ix.cols, cols) {
+				return ix
+			}
+		}
+	}
+	r.buildMu.Lock()
+	defer r.buildMu.Unlock()
+	var have []*secondary
+	if cur := r.shared.Load(); cur != nil {
+		have = *cur
+		for _, ix := range have {
+			if sameCols(ix.cols, cols) {
+				return ix // lost the build race; reuse the winner's index
+			}
+		}
+	}
+	ix := r.buildIndex(cols)
+	next := make([]*secondary, len(have), len(have)+1)
+	copy(next, have)
+	next = append(next, ix)
+	r.shared.Store(&next)
+	return ix
+}
+
+// buildIndex scans the relation once and constructs the index on cols.
+func (r *Relation) buildIndex(cols []int) *secondary {
 	ix := &secondary{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
 	for pos, t := range r.tuples {
 		ix.add(t, pos)
 	}
-	r.indexes = append(r.indexes, ix)
 	return ix
 }
 

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"idlog/internal/value"
 )
@@ -17,13 +19,25 @@ import (
 // Iteration order (Tuples) is insertion order, which keeps deterministic
 // runs reproducible; use Sorted for a canonical order.
 //
-// A Relation is not safe for concurrent mutation.
+// A Relation is not safe for concurrent mutation. Freeze converts it
+// into an immutable value that IS safe for concurrent readers: inserts
+// are rejected, and the one remaining piece of hidden mutability — the
+// lazily built secondary indexes behind Probe — switches to an atomic
+// copy-on-write publication protocol, so any number of goroutines may
+// probe (and thereby build indexes on) a frozen relation at once.
 type Relation struct {
 	name    string
 	arity   int
 	tuples  []value.Tuple
 	primary map[string]int // tuple key -> position in tuples
-	indexes []*secondary   // lazily built column-subset indexes
+	indexes []*secondary   // lazily built column-subset indexes (unfrozen path)
+
+	// frozen is set (before sharing) by Freeze; from then on reads go
+	// through shared, written only under buildMu and read with a single
+	// atomic load on the probe hot path.
+	frozen  bool
+	buildMu sync.Mutex
+	shared  atomic.Pointer[[]*secondary]
 }
 
 // keyBufSize fits tuples of arity ≤ 7 on the stack (9 bytes/value);
@@ -63,6 +77,9 @@ func (r *Relation) Len() int { return len(r.tuples) }
 // The tuple is stored as-is; callers that reuse buffers must Clone first
 // or use InsertShared.
 func (r *Relation) Insert(t value.Tuple) (bool, error) {
+	if r.frozen {
+		return false, fmt.Errorf("relation %s: insert into frozen relation", r.name)
+	}
 	if len(t) != r.arity {
 		return false, fmt.Errorf("relation %s: inserting arity-%d tuple into arity-%d relation", r.name, len(t), r.arity)
 	}
@@ -80,6 +97,9 @@ func (r *Relation) Insert(t value.Tuple) (bool, error) {
 // the tuple is new. It returns the stored tuple (nil when duplicate) so
 // callers can propagate the canonical copy.
 func (r *Relation) InsertShared(t value.Tuple) (value.Tuple, error) {
+	if r.frozen {
+		return nil, fmt.Errorf("relation %s: insert into frozen relation", r.name)
+	}
 	if len(t) != r.arity {
 		return nil, fmt.Errorf("relation %s: inserting arity-%d tuple into arity-%d relation", r.name, len(t), r.arity)
 	}
@@ -242,8 +262,10 @@ func (r *Relation) Fingerprint() string {
 
 // DeepClone rebuilds the relation from scratch: unlike Clone, the
 // result shares no internal state (indexes, key table) with r, so it is
-// safe to hand to another goroutine. (A Relation is not safe for
-// concurrent use because secondary indexes build lazily on first probe.)
+// safe to hand to another goroutine. (An unfrozen Relation is not safe
+// for concurrent use because secondary indexes build lazily on first
+// probe; Freeze is the cheaper alternative when the relation no longer
+// needs to change.)
 func (r *Relation) DeepClone() *Relation {
 	c := New(r.name, r.arity)
 	for _, t := range r.tuples {
@@ -251,3 +273,31 @@ func (r *Relation) DeepClone() *Relation {
 	}
 	return c
 }
+
+// Freeze makes the relation immutable and safe for concurrent readers.
+// After Freeze, Insert/InsertShared/UnionInto fail, and Probe builds
+// its lazy secondary indexes through an atomic copy-on-write protocol
+// instead of mutating shared slices in place. Freeze must be called
+// before the relation is shared between goroutines (it is not itself a
+// synchronization point); freezing twice is a no-op. It returns r for
+// chaining.
+//
+// This is the engine's sharing contract: a server keeps one frozen EDB
+// and evaluates any number of programs against it concurrently, with
+// all per-run mutable state (IDB work relations, ID-relations,
+// compiled clauses, guards) private to each evaluation.
+func (r *Relation) Freeze() *Relation {
+	if r.frozen {
+		return r
+	}
+	// Hand any indexes built during the mutable phase to the shared
+	// publication slot so they stay usable after the switch.
+	idx := r.indexes
+	r.indexes = nil
+	r.shared.Store(&idx)
+	r.frozen = true
+	return r
+}
+
+// Frozen reports whether the relation has been frozen.
+func (r *Relation) Frozen() bool { return r.frozen }

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idlog"
+)
+
+// session pins a named, snapshot-isolated database for a client across
+// queries. The live snapshot is a frozen *idlog.Database behind an
+// atomic pointer: queries load the pointer once and keep that snapshot
+// for their whole run, while fact loads build the next snapshot off to
+// the side (thaw, add, freeze) and swap it in. Readers never see a
+// half-loaded database.
+type session struct {
+	name     string
+	db       atomic.Pointer[idlog.Database]
+	snapshot atomic.Uint64 // generation counter, bumps on every swap
+	lastUsed atomic.Int64  // unix nanos of the last touch
+}
+
+func (s *session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// sessionTable is the registry of live sessions plus the idle-eviction
+// janitor's bookkeeping.
+type sessionTable struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	max      int
+}
+
+func newSessionTable(max int) *sessionTable {
+	return &sessionTable{sessions: make(map[string]*session), max: max}
+}
+
+// create registers a new session holding db (which it freezes).
+func (t *sessionTable) create(name string, db *idlog.Database) (*session, error) {
+	db.Freeze()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.sessions[name]; ok {
+		return nil, fmt.Errorf("session %q already exists", name)
+	}
+	if len(t.sessions) >= t.max {
+		return nil, fmt.Errorf("session table full (%d sessions)", t.max)
+	}
+	s := &session{name: name}
+	s.db.Store(db)
+	s.snapshot.Store(1)
+	s.touch()
+	t.sessions[name] = s
+	return s, nil
+}
+
+// get returns the named session, touching it.
+func (t *sessionTable) get(name string) (*session, bool) {
+	t.mu.Lock()
+	s, ok := t.sessions[name]
+	t.mu.Unlock()
+	if ok {
+		s.touch()
+	}
+	return s, ok
+}
+
+// drop removes the named session.
+func (t *sessionTable) drop(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.sessions[name]; !ok {
+		return false
+	}
+	delete(t.sessions, name)
+	return true
+}
+
+// advance installs the next snapshot: the current database is thawed,
+// extended with facts, frozen and swapped in. Concurrent advances
+// serialize on the table lock; concurrent readers are unaffected.
+func (t *sessionTable) advance(s *session, facts string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	next := s.db.Load().Thaw()
+	if err := idlog.AddFactsText(next, facts); err != nil {
+		return err
+	}
+	next.Freeze()
+	s.db.Store(next)
+	s.snapshot.Add(1)
+	s.touch()
+	return nil
+}
+
+// len reports the number of live sessions.
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}
+
+// list snapshots the table for the sessions listing, sorted by name.
+func (t *sessionTable) list() []*session {
+	t.mu.Lock()
+	out := make([]*session, 0, len(t.sessions))
+	for _, s := range t.sessions {
+		out = append(out, s)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// evictIdle drops sessions idle longer than ttl and reports how many.
+func (t *sessionTable) evictIdle(ttl time.Duration) int {
+	cutoff := time.Now().Add(-ttl).UnixNano()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for name, s := range t.sessions {
+		if s.lastUsed.Load() < cutoff {
+			delete(t.sessions, name)
+			n++
+		}
+	}
+	return n
+}
+
+// info renders one session for the listing.
+func (s *session) info() sessionInfo {
+	db := s.db.Load()
+	rels := map[string]int{}
+	for _, n := range db.Names() {
+		rels[n] = db.Relation(n).Len()
+	}
+	return sessionInfo{
+		Name:      s.name,
+		Relations: rels,
+		IdleS:     time.Since(time.Unix(0, s.lastUsed.Load())).Seconds(),
+		Snapshot:  s.snapshot.Load(),
+	}
+}
