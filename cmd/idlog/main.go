@@ -15,6 +15,8 @@
 //	-timeout d       wall-clock budget for the run, e.g. 5s, 300ms (0 = none)
 //	-max-tuples n    materialized-tuple budget, a memory ceiling (0 = none)
 //	-max-derivations n  derivation budget, a work ceiling (0 = none)
+//	-parallel n      evaluate fixpoints on n worker goroutines (answers
+//	                 stay byte-identical to sequential; default 1)
 //	-partial         on a tripped budget/timeout, still print the partial model
 //	-optimize p      print the §4-optimized program w.r.t. p and exit
 //	-show            print the (choice-translated) program before running
@@ -109,6 +111,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	maxTuples := flag.Int("max-tuples", 0, "materialized-tuple budget, a memory ceiling (0 = none)")
 	maxDerivations := flag.Int("max-derivations", 0, "derivation budget, a work ceiling (0 = none)")
+	parallel := flag.Int("parallel", 1, "worker goroutines for fixpoint evaluation (1 = sequential)")
 	partial := flag.Bool("partial", false, "on a tripped budget/timeout, still print the partial model")
 	optimize := flag.String("optimize", "", "print the optimized program w.r.t. this predicate and exit")
 	show := flag.Bool("show", false, "print the evaluated (choice-translated) program")
@@ -141,6 +144,7 @@ func main() {
 			timeout:        *timeout,
 			maxTuples:      *maxTuples,
 			maxDerivations: *maxDerivations,
+			parallel:       *parallel,
 		}, preload...)
 		return
 	}
@@ -205,6 +209,9 @@ func main() {
 	}
 	if *maxDerivations > 0 {
 		opts = append(opts, idlog.WithMaxDerivations(*maxDerivations))
+	}
+	if *parallel > 1 {
+		opts = append(opts, idlog.WithParallelism(*parallel))
 	}
 
 	// Ctrl-C cancels the evaluation at the next guard checkpoint.

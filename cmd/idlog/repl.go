@@ -21,6 +21,7 @@ type replLimits struct {
 	timeout        time.Duration
 	maxTuples      int
 	maxDerivations int
+	parallel       int
 }
 
 // options renders the limits as engine options.
@@ -34,6 +35,9 @@ func (l replLimits) options() []idlog.Option {
 	}
 	if l.maxDerivations > 0 {
 		opts = append(opts, idlog.WithMaxDerivations(l.maxDerivations))
+	}
+	if l.parallel > 1 {
+		opts = append(opts, idlog.WithParallelism(l.parallel))
 	}
 	return opts
 }
@@ -49,8 +53,12 @@ func (l replLimits) String() string {
 	if l.timeout > 0 {
 		t = l.timeout.String()
 	}
-	return fmt.Sprintf("limits: timeout=%s, max-tuples=%s, max-derivations=%s",
-		t, show(l.maxTuples), show(l.maxDerivations))
+	p := "1 (sequential)"
+	if l.parallel > 1 {
+		p = strconv.Itoa(l.parallel)
+	}
+	return fmt.Sprintf("limits: timeout=%s, max-tuples=%s, max-derivations=%s, parallel=%s",
+		t, show(l.maxTuples), show(l.maxDerivations), p)
 }
 
 // repl is the interactive session state.
@@ -71,7 +79,8 @@ const replHelp = `commands:
   :sorted                        back to the deterministic oracle
   :limits [KEY VALUE ...]        show or set per-query budgets; keys:
                                  timeout (duration), max-tuples,
-                                 max-derivations (0 = off)
+                                 max-derivations (0 = off), parallel
+                                 (worker goroutines, 1 = sequential)
   :clear                         drop all session clauses
   :help                          this text
   :quit                          leave
@@ -184,7 +193,7 @@ func (s *repl) command(line string) bool {
 // with keys timeout, max-tuples, max-derivations; 0 switches one off.
 func (s *repl) limitsCommand(args []string) {
 	if len(args)%2 != 0 {
-		fmt.Fprintln(s.out, "usage: :limits [timeout D] [max-tuples N] [max-derivations N]")
+		fmt.Fprintln(s.out, "usage: :limits [timeout D] [max-tuples N] [max-derivations N] [parallel N]")
 		return
 	}
 	next := s.limits
@@ -212,6 +221,13 @@ func (s *repl) limitsCommand(args []string) {
 				return
 			}
 			next.maxDerivations = n
+		case "parallel":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				fmt.Fprintln(s.out, "bad parallel:", val)
+				return
+			}
+			next.parallel = n
 		default:
 			fmt.Fprintln(s.out, "unknown limit:", key)
 			return

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	suiteName := flag.String("suite", "quick", "experiment sizing: quick or full")
-	only := flag.String("only", "all", "run a single experiment (E1..E12) or all")
+	only := flag.String("only", "all", "run a single experiment (E1..E13) or all")
 	markdown := flag.Bool("md", false, "emit GitHub-flavoured markdown tables")
 	jsonOut := flag.Bool("json", false, "also write the tables to BENCH_<suite>.json")
 	flag.Parse()

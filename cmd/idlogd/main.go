@@ -22,6 +22,9 @@
 //	-max-timeout d        clamp on requested per-request timeouts (default 60s)
 //	-max-tuples n         default materialized-tuple budget (0 = none)
 //	-max-derivations n    default derivation budget (0 = none)
+//	-max-parallelism n    clamp on per-request evaluation parallelism
+//	                      (default GOMAXPROCS; requests opt in via the
+//	                      "parallelism" field)
 //	-session-ttl d        evict sessions idle longer than this (default 15m)
 //	-drain-timeout d      grace period for in-flight requests on shutdown (default 10s)
 //
@@ -89,6 +92,7 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.DurationVar(&dc.server.MaxTimeout, "max-timeout", 60*time.Second, "clamp on requested per-request timeouts")
 	fs.IntVar(&dc.server.DefaultMaxTuples, "max-tuples", 0, "default materialized-tuple budget (0 = none)")
 	fs.IntVar(&dc.server.DefaultMaxDerivations, "max-derivations", 0, "default derivation budget (0 = none)")
+	fs.IntVar(&dc.server.MaxParallelism, "max-parallelism", runtime.GOMAXPROCS(0), "clamp on per-request evaluation parallelism")
 	fs.DurationVar(&dc.server.SessionTTL, "session-ttl", 15*time.Minute, "evict sessions idle longer than this")
 	fs.DurationVar(&dc.drainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {

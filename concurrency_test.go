@@ -212,3 +212,132 @@ func mustParse(t *testing.T, src string) *Program {
 	}
 	return p
 }
+
+// paperExamples are the programs of the paper's Examples 1–8 (the §4
+// rewrites of Example 6 — Examples 7 and 8 — are derived below via
+// Program.Optimize, exactly as the paper derives them).
+var paperExamples = []struct {
+	name string
+	src  string
+}{
+	{"ex1-man", `
+		sex_guess(X, male) :- person(X).
+		sex_guess(X, female) :- person(X).
+		man(X) :- sex_guess[1](X, male, 1).
+	`},
+	{"ex2-man-woman", `
+		sex_guess(X, male) :- person(X).
+		sex_guess(X, female) :- person(X).
+		man(X) :- sex_guess[1](X, male, 1).
+		woman(X) :- sex_guess[1](X, female, 1).
+	`},
+	{"ex3-dl-contrast", `
+		guess(X, in) :- person(X).
+		guess(X, out) :- person(X).
+		chosen(X) :- guess[1](X, in, 1).
+	`},
+	{"ex4-choice", `
+		pick(N, D) :- emp(N, D), choice((D), (N)).
+	`},
+	{"ex5-sampling", `
+		select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2.
+	`},
+	{"ex6-reach-source", `
+		q(X) :- a(X, Y).
+		a(X, Y) :- p(X, Z), a(Z, Y).
+		a(X, Y) :- p(X, Y).
+	`},
+}
+
+// TestConcurrentParallelEvalMatchesSequential is the parallel
+// evaluator's race-detector stress run: 64 goroutines evaluate the
+// paper's Example 1–8 programs with WithParallelism(2..8) over one
+// shared frozen database, and every model fingerprint must equal the
+// sequential baseline. Run with -race: it exercises the worker pool,
+// the shared COW index publication, and the ordered merge all at once.
+func TestConcurrentParallelEvalMatchesSequential(t *testing.T) {
+	db := NewDatabase()
+	for i := 0; i < 6; i++ {
+		_ = db.Add("person", Strs(fmt.Sprintf("p%02d", i)))
+	}
+	for d := 0; d < 4; d++ {
+		for e := 0; e < 5; e++ {
+			_ = db.Add("emp", Strs(fmt.Sprintf("e%d_%d", d, e), fmt.Sprintf("dept%d", d)))
+		}
+	}
+	for i := 0; i < 30; i++ {
+		_ = db.Add("p", Strs(fmt.Sprintf("v%03d", i), fmt.Sprintf("v%03d", i+1)))
+		if i%5 == 0 {
+			_ = db.Add("p", Strs(fmt.Sprintf("v%03d", i), fmt.Sprintf("w%03d", i)))
+		}
+	}
+	db.Freeze()
+
+	type workload struct {
+		name string
+		prog *Program
+		opts []Option
+	}
+	var workloads []workload
+	for _, ex := range paperExamples {
+		prog := mustParse(t, ex.src)
+		workloads = append(workloads, workload{ex.name, prog, nil})
+		workloads = append(workloads, workload{ex.name + "-seeded", prog, []Option{WithSeed(42)}})
+	}
+	// Examples 7–8: the §4 rewrite chain applied to Example 6.
+	ex6 := mustParse(t, paperExamples[5].src)
+	ex8, err := ex6.Optimize("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = append(workloads, workload{"ex7-8-optimized", ex8, nil})
+
+	// Sequential baselines, one full-model fingerprint per workload.
+	modelOf := func(w workload, extra ...Option) (string, error) {
+		res, err := w.prog.Eval(db, append(append([]Option{}, w.opts...), extra...)...)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", w.name, err)
+		}
+		var b strings.Builder
+		for _, p := range w.prog.OutputPredicates() {
+			fmt.Fprintf(&b, "%s=%s\n", p, res.Relation(p).Fingerprint())
+		}
+		return b.String(), nil
+	}
+	want := make([]string, len(workloads))
+	for i, w := range workloads {
+		fp, err := modelOf(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = fp
+	}
+
+	const goroutines = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			workers := []int{2, 3, 4, 8}[g%4]
+			for i, w := range workloads {
+				got, err := modelOf(w, WithParallelism(workers))
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+				if got != want[i] {
+					errs <- fmt.Errorf("goroutine %d: %s with %d workers diverged from sequential",
+						g, w.name, workers)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

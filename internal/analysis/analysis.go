@@ -90,6 +90,11 @@ type Stratum struct {
 	// IDNeeds lists the ID-relations that clause bodies of this stratum
 	// reference, deduplicated and sorted by Key.
 	IDNeeds []IDNeed
+	// Recursive reports whether any clause of the stratum is recursive.
+	// Non-recursive strata reach fixpoint in a single seed round, so
+	// evaluators (sequential and parallel alike) skip the delta-round
+	// scheduling — no delta sinks, no round loop — for them.
+	Recursive bool
 }
 
 // Info is the analysis result.
@@ -348,6 +353,9 @@ func (info *Info) planClauses() error {
 		}
 		s := info.Strata[info.StratumOf[c.Head.Pred]]
 		s.Clauses = append(s.Clauses, oc)
+		if oc.Recursive {
+			s.Recursive = true
+		}
 	}
 	// Compute the global tid-pruning bound per ID-relation (footnote 6):
 	// the bound must hold for EVERY occurrence across the whole program,

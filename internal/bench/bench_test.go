@@ -29,10 +29,15 @@ func TestQuickSuiteRuns(t *testing.T) {
 		E11Chain:    16,
 		E11Grid:     4,
 		E11Emp:      [2]int{3, 6},
+		E13Workers:  []int{1, 2, 4},
+		E13Reps:     2,
+		E13Grid:     4,
+		E13Chain:    16,
+		E13Emp:      [2]int{3, 6},
 	}
 	tables := Run(suite, "all")
-	if len(tables) != 11 {
-		t.Fatalf("ran %d experiments, want 11", len(tables))
+	if len(tables) != 12 {
+		t.Fatalf("ran %d experiments, want 12", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
@@ -50,7 +55,7 @@ func TestQuickSuiteRuns(t *testing.T) {
 			t.Errorf("%s render missing header: %q", tab.ID, out[:60])
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13"} {
 		if !ids[id] {
 			t.Errorf("experiment %s missing", id)
 		}

@@ -41,6 +41,14 @@ type Suite struct {
 	E12Clients  []int
 	E12Requests int
 	E12Emp      [2]int
+	// E13Workers are the parallelism levels for the scaling experiment;
+	// E13Reps is the timed-runs-per-cell sample and E13Grid/E13Chain/
+	// E13Emp size its kernels.
+	E13Workers []int
+	E13Reps    int
+	E13Grid    int
+	E13Chain   int
+	E13Emp     [2]int
 }
 
 // Quick returns a suite sized to finish in a few seconds.
@@ -66,6 +74,11 @@ func Quick() Suite {
 		E12Clients:  []int{1, 8, 64},
 		E12Requests: 192,
 		E12Emp:      [2]int{10, 50},
+		E13Workers:  []int{1, 2, 4, 8},
+		E13Reps:     3,
+		E13Grid:     12,
+		E13Chain:    192,
+		E13Emp:      [2]int{20, 500},
 	}
 }
 
@@ -92,6 +105,11 @@ func Full() Suite {
 		E12Clients:  []int{1, 8, 64},
 		E12Requests: 960,
 		E12Emp:      [2]int{20, 200},
+		E13Workers:  []int{1, 2, 4, 8},
+		E13Reps:     7,
+		E13Grid:     20,
+		E13Chain:    512,
+		E13Emp:      [2]int{50, 2000},
 	}
 }
 
@@ -119,5 +137,6 @@ func Run(s Suite, only string) []*Table {
 	run("E9", func() *Table { return E9(s.E9Persons) })
 	run("E10", func() *Table { return E10(s.E10Sizes, s.E10Seeds) })
 	run("E11", func() *Table { return E11(s.E11Reps, s.E11Chain, s.E11Grid, s.E11Emp[0], s.E11Emp[1]) })
+	run("E13", func() *Table { return E13(s.E13Reps, s.E13Grid, s.E13Chain, s.E13Emp[0], s.E13Emp[1], s.E13Workers) })
 	return out
 }

@@ -159,3 +159,27 @@ func compileClause(oc *analysis.OrderedClause, stratumPred func(string) bool) (*
 	cc.headBuf = make(value.Tuple, len(cc.headArgs))
 	return cc, nil
 }
+
+// clone gives a parallel worker its own copy of the clause: the static
+// plan (args, probe columns, positions) is shared, but every scratch
+// buffer — the only mutable state — is fresh, so two workers can walk
+// the same clause concurrently.
+func (cc *compiledClause) clone() *compiledClause {
+	c := *cc
+	c.lits = make([]compiledLit, len(cc.lits))
+	copy(c.lits, cc.lits)
+	for i := range c.lits {
+		cl := &c.lits[i]
+		if cl.keyBuf != nil {
+			cl.keyBuf = make(value.Tuple, len(cl.keyBuf))
+		}
+		if cl.argsBuf != nil {
+			cl.argsBuf = make([]value.Value, len(cl.argsBuf))
+		}
+		if cl.maskBuf != nil {
+			cl.maskBuf = make([]bool, len(cl.maskBuf))
+		}
+	}
+	c.headBuf = make(value.Tuple, len(cc.headBuf))
+	return &c
+}

@@ -25,8 +25,15 @@ type Options struct {
 	MaxDerivations int
 	// Trace records, for every derived tuple, the clause and ground
 	// body facts of its first derivation, enabling Result.Explain.
-	// Costs memory proportional to the model.
+	// Costs memory proportional to the model. Trace forces sequential
+	// evaluation (provenance capture is inherently ordered).
 	Trace bool
+	// Parallelism bounds the worker pool of the semi-naive fixpoint:
+	// each round's work is sharded across up to this many goroutines and
+	// merged through a deterministic ordered reducer, so answer sets and
+	// ID assignment are byte-identical to a sequential run. Values ≤ 1
+	// (and Naive or Trace runs) evaluate sequentially.
+	Parallelism int
 	// Guard governs the run (cancellation, deadlines, budgets, fault
 	// injection). Nil builds a fresh guard carrying only
 	// MaxDerivations. An Enumerate walk shares one guard across its
@@ -176,7 +183,18 @@ func (e *engine) evalStratum(s *analysis.Stratum) error {
 	if e.opts.Naive {
 		return e.naiveFixpoint(compiled)
 	}
+	if e.workers() > 1 && !e.opts.Trace {
+		return e.parallelFixpoint(s, compiled)
+	}
 	return e.seminaiveFixpoint(s, compiled)
+}
+
+// workers resolves the effective parallelism (≥ 1).
+func (e *engine) workers() int {
+	if n := e.opts.Parallelism; n > 1 {
+		return n
+	}
+	return 1
 }
 
 // naiveFixpoint repeatedly evaluates every clause against the full
@@ -209,6 +227,16 @@ func (e *engine) naiveFixpoint(clauses []*compiledClause) error {
 // with that position reading the previous round's newly derived tuples.
 func (e *engine) seminaiveFixpoint(s *analysis.Stratum, clauses []*compiledClause) error {
 	e.stats.Iterations++
+	if !s.Recursive {
+		// A non-recursive stratum reaches fixpoint in its seed round:
+		// skip the delta bookkeeping entirely.
+		for _, cc := range clauses {
+			if _, err := e.evalClause(cc, -1, nil, e.work[cc.headPred]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	delta := map[string]*relation.Relation{}
 	for _, p := range s.Preds {
 		delta[p] = relation.New(p, e.work[p].Arity())
@@ -290,27 +318,86 @@ func (e *engine) evalClauseDelta(cc *compiledClause, deltaPos int, deltaRel, del
 }
 
 func (e *engine) run(cc *compiledClause, deltaPos int, deltaRel, deltaSink, full *relation.Relation) (int, error) {
-	env := make([]value.Value, cc.nslots)
 	inserted := 0
 	e.curClause = cc.srcText
+	rn := runner{e: e, stats: &e.stats}
+	rn.derive = func(cc *compiledClause, env []value.Value, head value.Tuple) error {
+		if e.governed {
+			// Amortized governance: consult the guard only when the
+			// current grant is spent; in between, one decrement.
+			if e.gslack == 0 {
+				n, err := e.g.DerivationGrant(e.gused, cc.srcText)
+				e.gused = 0
+				if err != nil {
+					return err
+				}
+				e.gslack = n
+			}
+			e.gslack--
+			e.gused++
+		}
+		e.stats.Derivations++
+		// At the tuple limit, reject a genuinely new tuple before
+		// storing it so a tripped run holds exactly the budget.
+		// Duplicates fall through: they cost no memory and
+		// InsertShared ignores them.
+		if e.governed && e.g.AtTupleLimit() && !full.Contains(head) {
+			return e.g.TryTuples(1)
+		}
+		stored, err := full.InsertShared(head)
+		if err != nil {
+			return err
+		}
+		if stored != nil {
+			if e.governed {
+				if err := e.g.TryTuples(1); err != nil {
+					return err
+				}
+			}
+			inserted++
+			e.stats.Inserted++
+			e.recordProvenance(cc, env, stored)
+			if deltaSink != nil {
+				deltaSink.MustInsert(stored)
+			}
+		}
+		return nil
+	}
+	err := rn.run(cc, deltaPos, deltaRel, 0, -1)
+	if e.governed && e.gused > 0 {
+		// Settle the outstanding amortized batch so the guard is exact at
+		// clause boundaries. Without this, derivations run under the last
+		// grant were never accounted: Usage underreported, and a guard
+		// shared across runs (Enumerate builds a fresh engine per run, so
+		// gused restarts at zero) could overshoot MaxDerivations by up to
+		// one CheckInterval batch per run.
+		e.g.Settle(e.gused)
+		e.gused = 0
+	}
+	return inserted, err
+}
+
+// runner executes the join walk of one clause. There is exactly one per
+// goroutine: the sequential engine builds one per clause run, and every
+// parallel worker owns one bound to its private compiled-clause copies
+// (the compiled scratch buffers are single-threaded by design). The
+// walk is pure enumeration — each complete body instantiation hands the
+// candidate head tuple (scratch; clone to retain) to the derive hook,
+// which carries all mutable policy: governance, dedup, insertion.
+type runner struct {
+	e      *engine
+	stats  *Stats
+	derive func(cc *compiledClause, env []value.Value, head value.Tuple) error
+}
+
+// run walks cc with the delta relation substituted at deltaPos (-1 for
+// none). lo/hi restrict the depth-0 literal's enumeration range to
+// [lo, hi) — the parallel shard bounds; hi = -1 means unrestricted.
+func (rn *runner) run(cc *compiledClause, deltaPos int, deltaRel *relation.Relation, lo, hi int) error {
+	env := make([]value.Value, cc.nslots)
 	var rec func(depth int) error
 	rec = func(depth int) error {
 		if depth == len(cc.lits) {
-			if e.governed {
-				// Amortized governance: consult the guard only when the
-				// current grant is spent; in between, one decrement.
-				if e.gslack == 0 {
-					n, err := e.g.DerivationGrant(e.gused, cc.srcText)
-					e.gused = 0
-					if err != nil {
-						return err
-					}
-					e.gslack = n
-				}
-				e.gslack--
-				e.gused++
-			}
-			e.stats.Derivations++
 			head := cc.headBuf
 			for i, a := range cc.headArgs {
 				if a.kind == argConst {
@@ -319,57 +406,35 @@ func (e *engine) run(cc *compiledClause, deltaPos int, deltaRel, deltaSink, full
 					head[i] = env[a.slot]
 				}
 			}
-			// At the tuple limit, reject a genuinely new tuple before
-			// storing it so a tripped run holds exactly the budget.
-			// Duplicates fall through: they cost no memory and
-			// InsertShared ignores them.
-			if e.governed && e.g.AtTupleLimit() && !full.Contains(head) {
-				return e.g.TryTuples(1)
-			}
-			stored, err := full.InsertShared(head)
-			if err != nil {
-				return err
-			}
-			if stored != nil {
-				if e.governed {
-					if err := e.g.TryTuples(1); err != nil {
-						return err
-					}
-				}
-				inserted++
-				e.stats.Inserted++
-				e.recordProvenance(cc, env, stored)
-				if deltaSink != nil {
-					deltaSink.MustInsert(stored)
-				}
-			}
-			return nil
+			return rn.derive(cc, env, head)
 		}
 		cl := &cc.lits[depth]
 		if cl.builtin != nil {
-			return e.stepBuiltin(cc, cl, env, depth, rec)
+			return rn.stepBuiltin(cc, cl, env, depth, rec)
 		}
 		if cl.neg {
-			return e.stepNegated(cl, env, depth, rec)
+			return rn.stepNegated(cl, env, depth, rec)
 		}
-		rel, err := e.resolve(cl)
+		rel, err := rn.e.resolve(cl)
 		if err != nil {
 			return err
 		}
 		if depth == deltaPos {
 			rel = deltaRel
 		}
-		return e.stepScan(cl, rel, env, depth, rec)
+		if depth == 0 {
+			return rn.stepScan(cl, rel, env, depth, lo, hi, rec)
+		}
+		return rn.stepScan(cl, rel, env, depth, 0, -1, rec)
 	}
-	if err := rec(0); err != nil {
-		return inserted, err
-	}
-	return inserted, nil
+	return rec(0)
 }
 
 // stepScan matches a positive relational literal by probing the indexed
-// columns and binding the rest.
-func (e *engine) stepScan(cl *compiledLit, rel *relation.Relation, env []value.Value, depth int, rec func(int) error) error {
+// columns and binding the rest. A non-negative hi restricts enumeration
+// to the [lo, hi) slice of the scan (or of the probed index bucket) —
+// the parallel evaluator's shard bounds.
+func (rn *runner) stepScan(cl *compiledLit, rel *relation.Relation, env []value.Value, depth, lo, hi int, rec func(int) error) error {
 	match := func(t value.Tuple) error {
 		ok := true
 		for pos, a := range cl.args {
@@ -392,7 +457,10 @@ func (e *engine) stepScan(cl *compiledLit, rel *relation.Relation, env []value.V
 	}
 	if len(cl.probeCols) == 0 {
 		tuples := rel.Tuples()
-		e.stats.TuplesScanned += len(tuples)
+		if hi >= 0 {
+			tuples = tuples[lo:hi]
+		}
+		rn.stats.TuplesScanned += len(tuples)
 		for _, t := range tuples {
 			if err := match(t); err != nil {
 				return err
@@ -417,7 +485,10 @@ func (e *engine) stepScan(cl *compiledLit, rel *relation.Relation, env []value.V
 	// a snapshot of the length keeps iteration well-defined.
 	positions := rel.Probe(cl.probeCols, key)
 	n := len(positions)
-	e.stats.TuplesScanned += n
+	if hi >= 0 {
+		positions, n = positions[lo:hi], hi-lo
+	}
+	rn.stats.TuplesScanned += n
 	for i := 0; i < n; i++ {
 		if err := match(rel.At(positions[i])); err != nil {
 			return err
@@ -427,8 +498,8 @@ func (e *engine) stepScan(cl *compiledLit, rel *relation.Relation, env []value.V
 }
 
 // stepNegated checks a fully-bound negated relational literal.
-func (e *engine) stepNegated(cl *compiledLit, env []value.Value, depth int, rec func(int) error) error {
-	rel, err := e.resolve(cl)
+func (rn *runner) stepNegated(cl *compiledLit, env []value.Value, depth int, rec func(int) error) error {
+	rel, err := rn.e.resolve(cl)
 	if err != nil {
 		return err
 	}
@@ -448,7 +519,7 @@ func (e *engine) stepNegated(cl *compiledLit, env []value.Value, depth int, rec 
 
 // stepBuiltin evaluates an interpreted literal by enumerating the
 // solutions of its relation under the current bindings.
-func (e *engine) stepBuiltin(cc *compiledClause, cl *compiledLit, env []value.Value, depth int, rec func(int) error) error {
+func (rn *runner) stepBuiltin(cc *compiledClause, cl *compiledLit, env []value.Value, depth int, rec func(int) error) error {
 	args, mask := cl.argsBuf, cl.maskBuf
 	for i, a := range cl.args {
 		switch a.kind {

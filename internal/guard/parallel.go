@@ -1,0 +1,125 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel is the concurrency-safe face of a Guard for one parallel
+// fixpoint phase. The coordinator Forks it before spawning workers and
+// Joins it after they exit; in between, workers draw derivation grants
+// from a shared atomic ledger (Reserve/Refund), poll the clock and
+// context through the lock-free Checkpoint, and publish the phase's
+// first error through Fail, which doubles as the cooperative stop
+// signal for their siblings.
+//
+// The derivation ledger counts *reservations*: a worker reserves up to
+// CheckInterval derivations, runs them, and refunds what it did not
+// use when it exits. Joins therefore settle an exact total; the one
+// approximation is that a budget error can fire while sibling workers
+// still hold unused grants, so the reported count may exceed the
+// derivations actually executed by at most (workers-1)·CheckInterval —
+// never the budget itself, which remains a hard ceiling.
+type Parallel struct {
+	g          *Guard
+	max        int64 // derivation budget (0 = unlimited)
+	panicAfter int64 // injected-panic threshold (0 = off)
+
+	derivations atomic.Int64
+	stopped     atomic.Bool
+	mu          sync.Mutex
+	err         error
+}
+
+// Fork snapshots the guard's exact derivation total into a Parallel
+// ledger. The guard must be settled (no outstanding amortized batch)
+// and must not be consulted again until Join.
+func (g *Guard) Fork() *Parallel {
+	p := &Parallel{
+		g:          g,
+		max:        int64(g.limits.MaxDerivations),
+		panicAfter: int64(g.fault.PanicAfter),
+	}
+	p.derivations.Store(int64(g.derivations))
+	return p
+}
+
+// Reserve grants up to want derivations from the shared budget. It
+// returns the granted count (≥1) or the typed budget error when the
+// ledger is exhausted. A PanicAfter fault fires here, in the worker's
+// goroutine, exactly as the sequential grant path would; the worker's
+// recover converts it into a pool failure.
+func (p *Parallel) Reserve(want int, clause string) (int, error) {
+	for {
+		cur := p.derivations.Load()
+		if p.panicAfter > 0 && cur >= p.panicAfter {
+			panicAfterFault(cur)
+		}
+		n := int64(want)
+		if p.max > 0 {
+			if r := p.max - cur; r < n {
+				n = r
+			}
+			if n <= 0 {
+				return 0, Errorf(ResourceExhausted, p.g.op,
+					"derivation budget %d exceeded after %d derivations (clause %s)",
+					p.max, cur, clause)
+			}
+		}
+		if p.panicAfter > 0 {
+			if r := p.panicAfter - cur; r < n {
+				n = r
+			}
+		}
+		if p.derivations.CompareAndSwap(cur, cur+n) {
+			return int(n), nil
+		}
+	}
+}
+
+func panicAfterFault(n int64) {
+	panic(fmt.Sprintf("guard: injected fault after %d derivations", n))
+}
+
+// Refund returns a worker's unused reserved derivations to the ledger.
+func (p *Parallel) Refund(n int) {
+	if n > 0 {
+		p.derivations.Add(int64(-n))
+	}
+}
+
+// Checkpoint is the context + clock check, safe for concurrent use.
+func (p *Parallel) Checkpoint() error { return p.g.checkNow() }
+
+// Fail records the phase's first error and raises the stop signal; it
+// is safe to call from any worker. Nil errors are ignored.
+func (p *Parallel) Fail(err error) {
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	p.stopped.Store(true)
+}
+
+// Stopped reports whether a sibling has failed; workers poll it at
+// grant boundaries and between tasks for cooperative cancellation.
+func (p *Parallel) Stopped() bool { return p.stopped.Load() }
+
+// Err returns the phase's first error, if any.
+func (p *Parallel) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Join settles the ledger back into the guard. Call only after every
+// worker has exited (and refunded); the guard resumes sequential
+// accounting from the exact total.
+func (p *Parallel) Join() {
+	p.g.derivations = int(p.derivations.Load())
+}

@@ -1,0 +1,175 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGrantSettleExact covers the amortized-batch bugfix: derivations
+// run under a grant but never followed by another grant (a clause that
+// finishes mid-batch) must be settled so the count stays exact.
+func TestGrantSettleExact(t *testing.T) {
+	g := New(nil, Limits{MaxDerivations: 1000})
+	n, err := g.DerivationGrant(0, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != CheckInterval {
+		t.Fatalf("grant = %d, want %d", n, CheckInterval)
+	}
+	// The clause runs 10 of the granted derivations, then completes.
+	g.Settle(10)
+	if d, _ := g.Usage(); d != 10 {
+		t.Fatalf("Usage after settle = %d, want exactly 10", d)
+	}
+	// A fresh engine (Enumerate starts one per run) consults again: the
+	// ledger must carry the settled 10, not restart from 0.
+	n, err = g.DerivationGrant(0, "c")
+	if err != nil || n != CheckInterval {
+		t.Fatalf("second grant = %d, %v", n, err)
+	}
+	g.Settle(n)
+	if d, _ := g.Usage(); d != 10+CheckInterval {
+		t.Fatalf("Usage = %d, want %d", d, 10+CheckInterval)
+	}
+}
+
+// TestGrantBudgetExactAcrossRuns drives grants the way an enumeration
+// walk does — many short runs sharing one guard — and checks the budget
+// error fires after exactly MaxDerivations, reporting the exact count.
+func TestGrantBudgetExactAcrossRuns(t *testing.T) {
+	const max = 600 // not a CheckInterval multiple: the tail grant is short
+	g := New(nil, Limits{MaxDerivations: max})
+	total := 0
+	for run := 0; ; run++ {
+		if run > 100 {
+			t.Fatalf("budget never tripped")
+		}
+		// Each run uses at most 7 derivations per grant cycle, like a
+		// clause with a small body.
+		n, err := g.DerivationGrant(0, "tc(X, Y) :- e(X, Y).")
+		if err != nil {
+			if total != max {
+				t.Fatalf("tripped after %d derivations, want exactly %d", total, max)
+			}
+			var ge *Error
+			if !errors.As(err, &ge) || ge.Code != ResourceExhausted {
+				t.Fatalf("want ResourceExhausted, got %v", err)
+			}
+			if !strings.Contains(err.Error(), "exactly 600 derivations") {
+				t.Fatalf("error does not report the exact count: %v", err)
+			}
+			return
+		}
+		use := n
+		if use > 7 {
+			use = 7
+		}
+		total += use
+		g.Settle(use)
+	}
+}
+
+// TestParallelReserveExact hammers the shared ledger from many
+// goroutines: the sum of granted derivations never exceeds the budget,
+// and after refunds the joined total equals what was actually used.
+func TestParallelReserveExact(t *testing.T) {
+	const max = 10_000
+	g := New(nil, Limits{MaxDerivations: max})
+	p := g.Fork()
+	var used atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				n, err := p.Reserve(CheckInterval, "c")
+				if err != nil {
+					return
+				}
+				// Use an uneven share and refund the rest.
+				u := n - w%3
+				if u < 0 {
+					u = 0
+				}
+				used.Add(int64(u))
+				p.Refund(n - u)
+			}
+		}(w)
+	}
+	wg.Wait()
+	p.Join()
+	d, _ := g.Usage()
+	if int64(d) != used.Load() {
+		t.Fatalf("joined total %d != used %d", d, used.Load())
+	}
+	if d > max {
+		t.Fatalf("ledger overshot the budget: %d > %d", d, max)
+	}
+	if _, err := p.Reserve(1, "c"); err == nil {
+		t.Fatalf("exhausted ledger granted more work")
+	}
+}
+
+// TestParallelFailStops checks first-error-wins and the stop signal.
+func TestParallelFailStops(t *testing.T) {
+	g := New(nil, Limits{})
+	p := g.Fork()
+	if p.Stopped() {
+		t.Fatalf("fresh pool already stopped")
+	}
+	first := Errorf(ResourceExhausted, "eval", "first")
+	p.Fail(first)
+	p.Fail(Errorf(Internal, "eval", "second"))
+	if !p.Stopped() {
+		t.Fatalf("Fail did not raise the stop signal")
+	}
+	if p.Err() != first {
+		t.Fatalf("Err = %v, want the first failure", p.Err())
+	}
+}
+
+// TestParallelCheckpointConcurrent runs the lock-free checkpoint from
+// many goroutines against a canceled context (run under -race).
+func TestParallelCheckpointConcurrent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{})
+	p := g.Fork()
+	cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Checkpoint(); err == nil {
+				p.Fail(Errorf(Internal, "eval", "checkpoint missed cancellation"))
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+}
+
+// TestParallelPanicAfter checks the injected fault fires in Reserve.
+func TestParallelPanicAfter(t *testing.T) {
+	g := New(nil, Limits{})
+	g.Inject(FailAfter(10))
+	p := g.Fork()
+	n, err := p.Reserve(CheckInterval, "c")
+	if err != nil || n != 10 {
+		t.Fatalf("capped grant = %d, %v; want 10, nil", n, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("PanicAfter fault did not panic in Reserve")
+		}
+	}()
+	_, _ = p.Reserve(1, "c")
+}

@@ -51,28 +51,14 @@ func sameCols(a, b []int) bool {
 	return true
 }
 
-// ensureIndex builds (or fetches) the secondary index on cols. Lookup
-// is a linear scan over the relation's (few) indexes, avoiding any
-// allocation on the hot probe path.
+// ensureIndex builds (or fetches) the secondary index on cols. All
+// relations — frozen or not — share one publication path: concurrent
+// probes read the published index list with one atomic load (a linear
+// scan over the few indexes, no allocation on the hot probe path); a
+// miss builds the index under buildMu and publishes a fresh copy of
+// the list, never mutating a slice another goroutine may be scanning.
+// Published indexes are maintained by store() on every later insert.
 func (r *Relation) ensureIndex(cols []int) *secondary {
-	if r.frozen {
-		return r.ensureIndexFrozen(cols)
-	}
-	for _, ix := range r.indexes {
-		if sameCols(ix.cols, cols) {
-			return ix
-		}
-	}
-	ix := r.buildIndex(cols)
-	r.indexes = append(r.indexes, ix)
-	return ix
-}
-
-// ensureIndexFrozen is ensureIndex for frozen relations: concurrent
-// probes read the published index list with one atomic load; a miss
-// builds the index under buildMu and publishes a fresh copy of the
-// list, never mutating a slice another goroutine may be scanning.
-func (r *Relation) ensureIndexFrozen(cols []int) *secondary {
 	if cur := r.shared.Load(); cur != nil {
 		for _, ix := range *cur {
 			if sameCols(ix.cols, cols) {

@@ -21,20 +21,28 @@ import (
 //
 // A Relation is not safe for concurrent mutation. Freeze converts it
 // into an immutable value that IS safe for concurrent readers: inserts
-// are rejected, and the one remaining piece of hidden mutability — the
-// lazily built secondary indexes behind Probe — switches to an atomic
-// copy-on-write publication protocol, so any number of goroutines may
-// probe (and thereby build indexes on) a frozen relation at once.
+// are rejected, and any number of goroutines may probe (and thereby
+// build indexes on) a frozen relation at once.
+//
+// Secondary indexes — frozen or not — live behind a single atomic
+// copy-on-write publication slot: probes read the index list with one
+// atomic load, a miss builds under buildMu and publishes a fresh list,
+// and every insert maintains every published index. Unfrozen relations
+// therefore also tolerate concurrent *read-only* phases (probes from
+// many goroutines while no insert is running), which the parallel
+// evaluator relies on: its rounds alternate a barriered read phase
+// (workers probe) with a single-threaded merge phase (coordinator
+// inserts), with the phase barrier providing the happens-before edge.
 type Relation struct {
 	name    string
 	arity   int
 	tuples  []value.Tuple
 	primary map[string]int // tuple key -> position in tuples
-	indexes []*secondary   // lazily built column-subset indexes (unfrozen path)
 
-	// frozen is set (before sharing) by Freeze; from then on reads go
-	// through shared, written only under buildMu and read with a single
-	// atomic load on the probe hot path.
+	// frozen (set before sharing by Freeze) rejects further inserts.
+	// Secondary indexes are published through shared: written only
+	// under buildMu, read with a single atomic load on the probe hot
+	// path, and kept current by store() on every insert.
 	frozen  bool
 	buildMu sync.Mutex
 	shared  atomic.Pointer[[]*secondary]
@@ -117,8 +125,12 @@ func (r *Relation) store(key string, t value.Tuple) {
 	pos := len(r.tuples)
 	r.tuples = append(r.tuples, t)
 	r.primary[key] = pos
-	for _, idx := range r.indexes {
-		idx.add(t, pos)
+	// Maintain every published secondary index so probes issued after
+	// this insert see the new tuple (insert → probe → insert → probe).
+	if idxs := r.shared.Load(); idxs != nil {
+		for _, idx := range *idxs {
+			idx.add(t, pos)
+		}
 	}
 }
 
@@ -290,11 +302,8 @@ func (r *Relation) Freeze() *Relation {
 	if r.frozen {
 		return r
 	}
-	// Hand any indexes built during the mutable phase to the shared
-	// publication slot so they stay usable after the switch.
-	idx := r.indexes
-	r.indexes = nil
-	r.shared.Store(&idx)
+	// Indexes built during the mutable phase already live in the shared
+	// publication slot and stay usable after the switch.
 	r.frozen = true
 	return r
 }

@@ -24,6 +24,7 @@ type metrics struct {
 	scannedTotal      atomic.Uint64
 	admissionRejected atomic.Uint64
 	sessionsEvicted   atomic.Uint64
+	parallelQueries   atomic.Uint64
 
 	// predicates maps predicate name -> *predStats.
 	predicates sync.Map
@@ -170,6 +171,7 @@ func (m *metrics) render(b *strings.Builder, gauges map[string]float64) {
 	counter("idlogd_tuples_scanned_total", "Tuples scanned while matching body literals.", m.scannedTotal.Load())
 	counter("idlogd_admission_rejected_total", "Requests rejected by admission control.", m.admissionRejected.Load())
 	counter("idlogd_sessions_evicted_total", "Sessions evicted after idling past the TTL.", m.sessionsEvicted.Load())
+	counter("idlogd_parallel_queries_total", "Evaluations that requested parallelism above 1.", m.parallelQueries.Load())
 
 	type prow struct {
 		pred            string

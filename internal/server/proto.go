@@ -47,6 +47,11 @@ type budgetFields struct {
 	MaxTuples int `json:"max_tuples,omitempty"`
 	// MaxDerivations caps body instantiations (0 = server default).
 	MaxDerivations int `json:"max_derivations,omitempty"`
+	// Parallelism asks for the fixpoint to run on this many worker
+	// goroutines (answers stay byte-identical to sequential runs).
+	// 0 applies the server default (1, sequential); values above the
+	// server's max_parallelism are clamped.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Partial asks for the partial result alongside a budget-tripped
 	// error response.
 	Partial bool `json:"partial,omitempty"`
@@ -268,48 +273,69 @@ func relationBody(r *relation.Relation) relationJSON {
 	return relationJSON{Arity: r.Arity(), Tuples: tuples, Text: r.String()}
 }
 
+// budget is a request's resolved, clamped governance envelope.
+type budget struct {
+	timeout        time.Duration
+	maxTuples      int
+	maxDerivations int
+	parallelism    int
+}
+
 // parseBudget resolves the request's budget fields against the server
-// defaults and clamps the timeout.
-func (s *Server) parseBudget(b budgetFields) (timeout time.Duration, maxTuples, maxDerivations int, err *apiError) {
-	timeout = s.cfg.DefaultTimeout
+// defaults, clamping the timeout and the parallelism.
+func (s *Server) parseBudget(b budgetFields) (budget, *apiError) {
+	out := budget{timeout: s.cfg.DefaultTimeout}
 	if b.Timeout != "" {
 		d, perr := time.ParseDuration(b.Timeout)
 		if perr != nil || d < 0 {
-			return 0, 0, 0, apiErrorf(http.StatusBadRequest, "invalid_argument", "bad timeout %q", b.Timeout)
+			return budget{}, apiErrorf(http.StatusBadRequest, "invalid_argument", "bad timeout %q", b.Timeout)
 		}
-		timeout = d
+		out.timeout = d
 	}
-	if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
-		timeout = s.cfg.MaxTimeout
+	if s.cfg.MaxTimeout > 0 && (out.timeout == 0 || out.timeout > s.cfg.MaxTimeout) {
+		out.timeout = s.cfg.MaxTimeout
 	}
-	maxTuples = b.MaxTuples
-	if maxTuples == 0 {
-		maxTuples = s.cfg.DefaultMaxTuples
+	out.maxTuples = b.MaxTuples
+	if out.maxTuples == 0 {
+		out.maxTuples = s.cfg.DefaultMaxTuples
 	}
-	if maxTuples < 0 {
-		return 0, 0, 0, apiErrorf(http.StatusBadRequest, "invalid_argument", "bad max_tuples %d", b.MaxTuples)
+	if out.maxTuples < 0 {
+		return budget{}, apiErrorf(http.StatusBadRequest, "invalid_argument", "bad max_tuples %d", b.MaxTuples)
 	}
-	maxDerivations = b.MaxDerivations
-	if maxDerivations == 0 {
-		maxDerivations = s.cfg.DefaultMaxDerivations
+	out.maxDerivations = b.MaxDerivations
+	if out.maxDerivations == 0 {
+		out.maxDerivations = s.cfg.DefaultMaxDerivations
 	}
-	if maxDerivations < 0 {
-		return 0, 0, 0, apiErrorf(http.StatusBadRequest, "invalid_argument", "bad max_derivations %d", b.MaxDerivations)
+	if out.maxDerivations < 0 {
+		return budget{}, apiErrorf(http.StatusBadRequest, "invalid_argument", "bad max_derivations %d", b.MaxDerivations)
 	}
-	return timeout, maxTuples, maxDerivations, nil
+	if b.Parallelism < 0 {
+		return budget{}, apiErrorf(http.StatusBadRequest, "invalid_argument", "bad parallelism %d", b.Parallelism)
+	}
+	out.parallelism = b.Parallelism
+	if out.parallelism == 0 {
+		out.parallelism = 1
+	}
+	if out.parallelism > s.cfg.MaxParallelism {
+		out.parallelism = s.cfg.MaxParallelism
+	}
+	return out, nil
 }
 
-// budgetOptions converts resolved budgets into engine options.
-func budgetOptions(timeout time.Duration, maxTuples, maxDerivations int) []idlog.Option {
+// options converts the resolved budget into engine options.
+func (b budget) options() []idlog.Option {
 	var opts []idlog.Option
-	if timeout > 0 {
-		opts = append(opts, idlog.WithTimeout(timeout))
+	if b.timeout > 0 {
+		opts = append(opts, idlog.WithTimeout(b.timeout))
 	}
-	if maxTuples > 0 {
-		opts = append(opts, idlog.WithMaxTuples(maxTuples))
+	if b.maxTuples > 0 {
+		opts = append(opts, idlog.WithMaxTuples(b.maxTuples))
 	}
-	if maxDerivations > 0 {
-		opts = append(opts, idlog.WithMaxDerivations(maxDerivations))
+	if b.maxDerivations > 0 {
+		opts = append(opts, idlog.WithMaxDerivations(b.maxDerivations))
+	}
+	if b.parallelism > 1 {
+		opts = append(opts, idlog.WithParallelism(b.parallelism))
 	}
 	return opts
 }

@@ -36,6 +36,11 @@ type Config struct {
 	// set no budget (default 0 = unlimited).
 	DefaultMaxTuples      int
 	DefaultMaxDerivations int
+	// MaxParallelism clamps per-request parallelism (the wire field
+	// "parallelism"): requests may fan each fixpoint round out over up
+	// to this many worker goroutines (default: GOMAXPROCS). Answers do
+	// not depend on the value; only latency does.
+	MaxParallelism int
 	// SessionTTL evicts sessions idle longer than this (default 15m).
 	SessionTTL time.Duration
 	// MaxPrograms / MaxSessions bound the registries (default 256 each).
@@ -60,6 +65,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.SessionTTL <= 0 {
 		c.SessionTTL = 15 * time.Minute
@@ -298,29 +306,36 @@ func (s *Server) lookupProgram(name string) (*program, *apiError) {
 
 // resolveDB builds the request's database view: the session's frozen
 // snapshot, optionally extended by ad-hoc facts into a request-private
-// copy, or a fresh database from the facts alone.
-func (s *Server) resolveDB(sessionName, facts string) (*idlog.Database, *apiError) {
+// copy, or a fresh database from the facts alone. The returned release
+// func MUST be called when the request finishes — it unpins the session
+// so the idle janitor may evict it again (sessions are pinned for the
+// request lifetime so a long evaluation cannot have its session reaped
+// out from under it).
+func (s *Server) resolveDB(sessionName, facts string) (*idlog.Database, func(), *apiError) {
+	noop := func() {}
 	if sessionName == "" {
 		db := idlog.NewDatabase()
 		if facts != "" {
 			if err := idlog.AddFactsText(db, facts); err != nil {
-				return nil, fromEngineError(err)
+				return nil, nil, fromEngineError(err)
 			}
 		}
-		return db, nil
+		return db, noop, nil
 	}
 	sess, ok := s.sessions.get(sessionName)
 	if !ok {
-		return nil, apiErrorf(http.StatusNotFound, "not_found", "session %q not found", sessionName)
+		return nil, nil, apiErrorf(http.StatusNotFound, "not_found", "session %q not found", sessionName)
 	}
+	sess.pin()
 	db := sess.db.Load()
 	if facts != "" {
 		db = db.Thaw()
 		if err := idlog.AddFactsText(db, facts); err != nil {
-			return nil, fromEngineError(err)
+			sess.unpin()
+			return nil, nil, fromEngineError(err)
 		}
 	}
-	return db, nil
+	return db, sess.unpin, nil
 }
 
 // --- handlers ---
@@ -382,7 +397,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErrorf(http.StatusBadRequest, "invalid_argument", "exactly one of goal or predicates is required"))
 		return
 	}
-	timeout, maxTuples, maxDerivations, e := s.parseBudget(req.budgetFields)
+	bud, e := s.parseBudget(req.budgetFields)
 	if e != nil {
 		writeError(w, e)
 		return
@@ -404,11 +419,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		prog = parsed
 	}
-	db, e := s.resolveDB(req.Session, req.Facts)
+	db, unpin, e := s.resolveDB(req.Session, req.Facts)
 	if e != nil {
 		writeError(w, e)
 		return
 	}
+	defer unpin()
 
 	release, e := s.admit(r)
 	if e != nil {
@@ -420,7 +436,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		(*h)()
 	}
 
-	opts := budgetOptions(timeout, maxTuples, maxDerivations)
+	opts := bud.options()
+	if bud.parallelism > 1 {
+		s.metrics.parallelQueries.Add(1)
+	}
 	if req.Seed != nil {
 		opts = append(opts, idlog.WithSeed(*req.Seed))
 	}
@@ -507,16 +526,17 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
-	timeout, maxTuples, maxDerivations, e := s.parseBudget(req.budgetFields)
+	bud, e := s.parseBudget(req.budgetFields)
 	if e != nil {
 		writeError(w, e)
 		return
 	}
-	db, e := s.resolveDB(req.Session, req.Facts)
+	db, unpin, e := s.resolveDB(req.Session, req.Facts)
 	if e != nil {
 		writeError(w, e)
 		return
 	}
+	defer unpin()
 	release, e := s.admit(r)
 	if e != nil {
 		writeError(w, e)
@@ -526,11 +546,13 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if h := s.testHold.Load(); h != nil {
 		(*h)()
 	}
+	if bud.parallelism > 1 {
+		s.metrics.parallelQueries.Add(1)
+	}
 
 	spec := idlog.SampleSpec{Relation: req.Relation, Arity: req.Arity, GroupBy: req.GroupBy, K: req.K}
 	start := time.Now()
-	rel, err := idlog.SampleContext(r.Context(), spec, db, req.Seed,
-		budgetOptions(timeout, maxTuples, maxDerivations)...)
+	rel, err := idlog.SampleContext(r.Context(), spec, db, req.Seed, bud.options()...)
 	if err != nil {
 		writeError(w, fromEngineError(err))
 		return
@@ -637,6 +659,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"idlogd_queued_requests":   float64(s.queued.Load()),
 		"idlogd_sessions_active":   float64(s.sessions.len()),
 		"idlogd_worker_slots":      float64(s.cfg.MaxConcurrent),
+		"idlogd_max_parallelism":   float64(s.cfg.MaxParallelism),
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())

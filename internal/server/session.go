@@ -21,9 +21,21 @@ type session struct {
 	db       atomic.Pointer[idlog.Database]
 	snapshot atomic.Uint64 // generation counter, bumps on every swap
 	lastUsed atomic.Int64  // unix nanos of the last touch
+	pins     atomic.Int64  // in-flight requests holding this session
 }
 
 func (s *session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// pin marks the session as held by an in-flight request: the janitor
+// will not evict it however long the request runs. unpin releases the
+// hold and re-touches, so the idle clock restarts only after the last
+// holder finishes.
+func (s *session) pin() { s.pins.Add(1) }
+
+func (s *session) unpin() {
+	s.touch()
+	s.pins.Add(-1)
+}
 
 // sessionTable is the registry of live sessions plus the idle-eviction
 // janitor's bookkeeping.
@@ -115,12 +127,19 @@ func (t *sessionTable) list() []*session {
 }
 
 // evictIdle drops sessions idle longer than ttl and reports how many.
+// Pinned sessions — ones a request is still evaluating against — are
+// never reaped, however stale their last touch: a query that outlives
+// the TTL would otherwise lose its session (and its snapshot history)
+// mid-flight.
 func (t *sessionTable) evictIdle(ttl time.Duration) int {
 	cutoff := time.Now().Add(-ttl).UnixNano()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
 	for name, s := range t.sessions {
+		if s.pins.Load() > 0 {
+			continue
+		}
 		if s.lastUsed.Load() < cutoff {
 			delete(t.sessions, name)
 			n++

@@ -79,6 +79,17 @@ func WithMaxTuples(n int) Option {
 	return func(c *config) { c.limits.MaxTuples = n }
 }
 
+// WithParallelism evaluates each stratum's fixpoint rounds on n
+// worker goroutines. Answers are byte-identical to the sequential
+// engine (n ≤ 1): workers only read round-start state and a
+// deterministic ordered merge performs every insertion, so tuple
+// sets, insertion order, and ID assignment do not depend on n.
+// Budgets and cancellation are honored exactly as in sequential
+// runs. Tracing (WithTrace) forces sequential evaluation.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.eval.Parallelism = n }
+}
+
 // WithMaxRuns bounds the number of evaluation runs Enumerate may
 // perform (default 100000).
 func WithMaxRuns(n int) Option {
