@@ -7,6 +7,9 @@
 //
 //	-facts file      fact file(s) loaded as input relations (repeatable)
 //	-load file.idb   binary snapshot loaded as input relations
+//	-wal file        (with -i) durable write-ahead log: replayed into the
+//	                 session database on startup; :assert/:retract append
+//	                 to it before acknowledging
 //	-save file.idb   write the result relations to a binary snapshot
 //	-query p,q       print only these predicates (default: all outputs)
 //	-seed n          use the seeded random oracle (default: sorted/deterministic)
@@ -54,6 +57,7 @@ import (
 	"idlog/internal/ast"
 	"idlog/internal/parser"
 	"idlog/internal/storage"
+	"idlog/internal/wal"
 )
 
 // Exit codes; see the package comment.
@@ -117,6 +121,7 @@ func main() {
 	show := flag.Bool("show", false, "print the evaluated (choice-translated) program")
 	stats := flag.Bool("stats", false, "print evaluation statistics")
 	interactive := flag.Bool("i", false, "start an interactive session (REPL)")
+	walPath := flag.String("wal", "", "durable write-ahead log for the interactive session (with -i)")
 	explain := flag.String("explain", "", "print the derivation tree of a ground atom, e.g. 'tc(a, c)'")
 	flag.Parse()
 
@@ -140,13 +145,40 @@ func main() {
 			}
 			preload = append(preload, prog.Clauses...)
 		}
+		db := idlog.NewDatabase()
+		var log *wal.Log
+		if *walPath != "" {
+			l, recs, err := wal.Open(*walPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer l.Close()
+			// Replay the surviving prefix; records from idlogd WALs
+			// carry session names, which the REPL flattens into its
+			// single database.
+			for _, rec := range recs {
+				next, _, err := db.Apply(rec.Inserts, rec.Deletes)
+				if err != nil {
+					fatal(fmt.Errorf("wal replay: %w", err))
+				}
+				db = next
+			}
+			if len(recs) > 0 {
+				fmt.Printf("replayed %d wal record(s)\n", len(recs))
+			}
+			log = l
+		}
 		runREPL(os.Stdin, os.Stdout, replLimits{
 			timeout:        *timeout,
 			maxTuples:      *maxTuples,
 			maxDerivations: *maxDerivations,
 			parallel:       *parallel,
-		}, preload...)
+		}, db, log, preload...)
 		return
+	}
+	if *walPath != "" {
+		fmt.Fprintln(os.Stderr, "idlog: -wal requires -i (interactive session)")
+		os.Exit(exitUsage)
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: idlog [flags] program.idl")

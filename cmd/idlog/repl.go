@@ -12,6 +12,7 @@ import (
 	"idlog"
 	"idlog/internal/ast"
 	"idlog/internal/parser"
+	"idlog/internal/wal"
 )
 
 // replLimits are the session's per-query resource budgets. Zero means
@@ -61,9 +62,13 @@ func (l replLimits) String() string {
 		t, show(l.maxTuples), show(l.maxDerivations), p)
 }
 
-// repl is the interactive session state.
+// repl is the interactive session state. Clauses hold the session
+// program; db holds the live extensional database mutated by :assert
+// and :retract (and replayed from -wal on startup). Queries see both.
 type repl struct {
 	clauses []*ast.Clause
+	db      *idlog.Database
+	wal     *wal.Log
 	seed    uint64
 	random  bool
 	limits  replLimits
@@ -74,6 +79,9 @@ const replHelp = `commands:
   fact or clause ending in '.'   add to the session program
   ?- body.                       query: evaluate and print answers
   :list                          print the session program
+  :assert f(a, b). g(c).         insert ground facts into the live database
+  :retract f(a, b).              delete ground facts from the live database
+  :db                            print the live database relations
   :load FILE                     load clauses/facts from a file
   :seed N                        use the random oracle with seed N
   :sorted                        back to the deterministic oracle
@@ -88,9 +96,14 @@ const replHelp = `commands:
 
 // runREPL reads commands from r until EOF or :quit. Preloaded clauses
 // (from -facts / -load) seed the session program; limits seed the
-// per-query budgets.
-func runREPL(r io.Reader, w io.Writer, limits replLimits, preload ...*ast.Clause) {
-	s := &repl{out: w, clauses: preload, limits: limits}
+// per-query budgets. db seeds the live database mutated by :assert /
+// :retract (nil means empty); log, when non-nil, receives one durable
+// record per mutation.
+func runREPL(r io.Reader, w io.Writer, limits replLimits, db *idlog.Database, log *wal.Log, preload ...*ast.Clause) {
+	if db == nil {
+		db = idlog.NewDatabase()
+	}
+	s := &repl{out: w, clauses: preload, db: db, wal: log, limits: limits}
 	fmt.Fprintln(w, "idlog interactive — :help for commands")
 	if len(preload) > 0 {
 		fmt.Fprintf(w, "preloaded %d clauses\n", len(preload))
@@ -164,6 +177,18 @@ func (s *repl) command(line string) bool {
 		}
 		s.seed, s.random = n, true
 		fmt.Fprintf(s.out, "oracle: random, seed %d\n", n)
+	case ":assert":
+		s.mutate(strings.TrimSpace(line[len(fields[0]):]), false)
+	case ":retract":
+		s.mutate(strings.TrimSpace(line[len(fields[0]):]), true)
+	case ":db":
+		if len(s.db.Names()) == 0 {
+			fmt.Fprintln(s.out, "database empty")
+			break
+		}
+		for _, name := range s.db.Names() {
+			fmt.Fprintln(s.out, s.db.Relation(name))
+		}
 	case ":limits":
 		s.limitsCommand(fields[1:])
 	case ":load":
@@ -237,6 +262,48 @@ func (s *repl) limitsCommand(args []string) {
 	fmt.Fprintln(s.out, s.limits)
 }
 
+// mutate applies :assert (retract=false) or :retract (retract=true)
+// to the live database. src holds ground facts in program syntax. The
+// mutation is copy-on-write: the WAL record (when -wal is active) is
+// appended and synced before the new database becomes visible, so an
+// acknowledged mutation is never lost to a crash.
+func (s *repl) mutate(src string, retract bool) {
+	if src == "" {
+		verb := ":assert"
+		if retract {
+			verb = ":retract"
+		}
+		fmt.Fprintf(s.out, "usage: %s f(a, b). g(c).\n", verb)
+		return
+	}
+	facts, err := idlog.ParseFacts(src)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	inserts, deletes := facts, []idlog.Fact(nil)
+	if retract {
+		inserts, deletes = nil, facts
+	}
+	next, delta, err := s.db.Apply(inserts, deletes)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	if s.wal != nil {
+		if err := s.wal.Append(wal.Record{Inserts: inserts, Deletes: deletes}); err != nil {
+			fmt.Fprintln(s.out, "error: wal append:", err)
+			return
+		}
+	}
+	s.db = next
+	if retract {
+		fmt.Fprintf(s.out, "retracted %d fact(s)\n", delta.DeleteCount())
+	} else {
+		fmt.Fprintf(s.out, "asserted %d fact(s)\n", delta.InsertCount())
+	}
+}
+
 // input handles a clause or a ?- query.
 func (s *repl) input(text string) {
 	if rest, ok := strings.CutPrefix(text, "?-"); ok {
@@ -294,7 +361,7 @@ func (s *repl) query(body string) {
 	if s.random {
 		opts = append(opts, idlog.WithSeed(s.seed))
 	}
-	res, err := compiled.Eval(idlog.NewDatabase(), opts...)
+	res, err := compiled.Eval(s.db, opts...)
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
 		return

@@ -3,12 +3,15 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"idlog"
+	"idlog/internal/wal"
 )
 
 func runSession(t *testing.T, input string) string {
 	t.Helper()
 	var out strings.Builder
-	runREPL(strings.NewReader(input), &out, replLimits{})
+	runREPL(strings.NewReader(input), &out, replLimits{}, nil, nil)
 	return out.String()
 }
 
@@ -197,5 +200,99 @@ func TestREPLEOFWithoutQuit(t *testing.T) {
 	out := runSession(t, "p(a).\n")
 	if !strings.Contains(out, "ok") {
 		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestREPLAssertRetractQuery(t *testing.T) {
+	out := runSession(t, `
+tc(X, Y) :- e(X, Y).
+tc(X, Z) :- tc(X, Y), e(Y, Z).
+:assert e(a, b). e(b, c).
+?- tc(a, X).
+:retract e(b, c).
+?- tc(a, X).
+:db
+:quit
+`)
+	if !strings.Contains(out, "asserted 2 fact(s)") {
+		t.Fatalf("missing assert ack:\n%s", out)
+	}
+	if !strings.Contains(out, "retracted 1 fact(s)") {
+		t.Fatalf("missing retract ack:\n%s", out)
+	}
+	if !strings.Contains(out, "X = c") {
+		t.Fatalf("tc(a, c) not derived after assert:\n%s", out)
+	}
+	// After retracting e(b, c) the second query must see only X = b.
+	if strings.Count(out, "X = c") != 1 {
+		t.Fatalf("tc(a, c) should be gone after retract:\n%s", out)
+	}
+	if !strings.Contains(out, "e{(a, b)}") {
+		t.Fatalf(":db should list the surviving relation:\n%s", out)
+	}
+}
+
+func TestREPLAssertErrors(t *testing.T) {
+	out := runSession(t, `
+:assert
+:assert tc(X, Y) :- e(X, Y).
+:assert e(a, b).
+:retract e(nope, nowhere).
+:retract q(zzz).
+:quit
+`)
+	if !strings.Contains(out, "usage: :assert") {
+		t.Fatalf("missing usage for bare :assert:\n%s", out)
+	}
+	if !strings.Contains(out, "is not a fact") {
+		t.Fatalf("rule passed to :assert should error:\n%s", out)
+	}
+	// Deleting an absent tuple from a known relation is a no-op ack;
+	// deleting from an unknown relation is a validation error.
+	if !strings.Contains(out, "retracted 0 fact(s)") {
+		t.Fatalf("retracting an absent fact should be a no-op ack:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown relation q") {
+		t.Fatalf("retract from unknown relation should error:\n%s", out)
+	}
+}
+
+func TestREPLWALDurability(t *testing.T) {
+	path := t.TempDir() + "/repl.wal"
+	log1, recs, err := wal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh wal has %d records", len(recs))
+	}
+	var out strings.Builder
+	runREPL(strings.NewReader(":assert e(a, b). e(b, c).\n:retract e(b, c).\n:quit\n"),
+		&out, replLimits{}, nil, log1)
+	if err := log1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh session replaying the log sees exactly the surviving facts.
+	log2, recs, err := wal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("want 2 replayed records, got %d", len(recs))
+	}
+	db := idlog.NewDatabase()
+	for _, rec := range recs {
+		next, _, err := db.Apply(rec.Inserts, rec.Deletes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db = next
+	}
+	var out2 strings.Builder
+	runREPL(strings.NewReader(":db\n:quit\n"), &out2, replLimits{}, db, log2)
+	if !strings.Contains(out2.String(), "e{(a, b)}") {
+		t.Fatalf("replayed db wrong:\n%s", out2.String())
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"idlog/internal/bench"
@@ -18,9 +19,9 @@ import (
 
 func main() {
 	suiteName := flag.String("suite", "quick", "experiment sizing: quick or full")
-	only := flag.String("only", "all", "run a single experiment (E1..E13) or all")
+	only := flag.String("only", "all", "run a single experiment (E1..E14) or all")
 	markdown := flag.Bool("md", false, "emit GitHub-flavoured markdown tables")
-	jsonOut := flag.Bool("json", false, "also write the tables to BENCH_<suite>.json")
+	jsonOut := flag.Bool("json", false, "also write the tables to BENCH_<suite>.json (BENCH_<experiment>.json with -only)")
 	flag.Parse()
 
 	var suite bench.Suite
@@ -57,7 +58,11 @@ func main() {
 		}
 	}
 	if *jsonOut {
-		path := fmt.Sprintf("BENCH_%s.json", *suiteName)
+		tag := *suiteName
+		if *only != "" && *only != "all" {
+			tag = strings.ToLower(*only)
+		}
+		path := fmt.Sprintf("BENCH_%s.json", tag)
 		if err := bench.NewReport(*suiteName, tables).WriteFile(path); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
 			os.Exit(1)

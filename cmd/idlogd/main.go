@@ -27,6 +27,10 @@
 //	                      "parallelism" field)
 //	-session-ttl d        evict sessions idle longer than this (default 15m)
 //	-drain-timeout d      grace period for in-flight requests on shutdown (default 10s)
+//	-wal file             write-ahead log for durable mutations; replayed
+//	                      (together with file.snapshot, if present) on startup
+//	-wal-checkpoint n     checkpoint-and-truncate the WAL every n entries
+//	                      (default 1024; negative disables)
 //
 // SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503 so
 // load balancers stop routing here, new evaluations are refused, and
@@ -61,6 +65,7 @@ type daemonConfig struct {
 	factFiles    []string
 	loadSnap     string
 	sessionName  string
+	walPath      string
 	drainTimeout time.Duration
 	server       server.Config
 }
@@ -94,6 +99,8 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.IntVar(&dc.server.DefaultMaxDerivations, "max-derivations", 0, "default derivation budget (0 = none)")
 	fs.IntVar(&dc.server.MaxParallelism, "max-parallelism", runtime.GOMAXPROCS(0), "clamp on per-request evaluation parallelism")
 	fs.DurationVar(&dc.server.SessionTTL, "session-ttl", 15*time.Minute, "evict sessions idle longer than this")
+	fs.StringVar(&dc.walPath, "wal", "", "write-ahead log for durable mutations (replayed on startup)")
+	fs.IntVar(&dc.server.WALCheckpointEntries, "wal-checkpoint", 1024, "checkpoint-and-truncate the WAL every n entries (negative disables)")
 	fs.DurationVar(&dc.drainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -149,6 +156,14 @@ func buildServer(dc *daemonConfig) (*server.Server, error) {
 		}
 		if err := s.CreateSessionDB(dc.sessionName, db); err != nil {
 			return nil, err
+		}
+	}
+	if dc.walPath != "" {
+		// OpenWAL loads <wal>.snapshot if present (superseding an
+		// empty base), replays surviving entries, and keeps the log
+		// open for durable mutations.
+		if err := s.OpenWAL(dc.walPath); err != nil {
+			return nil, fmt.Errorf("wal %s: %w", dc.walPath, err)
 		}
 	}
 	ok = true

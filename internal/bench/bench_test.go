@@ -34,10 +34,15 @@ func TestQuickSuiteRuns(t *testing.T) {
 		E13Grid:     4,
 		E13Chain:    16,
 		E13Emp:      [2]int{3, 6},
+		E14Chain:    16,
+		E14Grid:     4,
+		E14Persons:  8,
+		E14Emp:      [2]int{2, 4},
+		E14PGraph:   12,
 	}
 	tables := Run(suite, "all")
-	if len(tables) != 12 {
-		t.Fatalf("ran %d experiments, want 12", len(tables))
+	if len(tables) != 13 {
+		t.Fatalf("ran %d experiments, want 13", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
@@ -55,7 +60,7 @@ func TestQuickSuiteRuns(t *testing.T) {
 			t.Errorf("%s render missing header: %q", tab.ID, out[:60])
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14"} {
 		if !ids[id] {
 			t.Errorf("experiment %s missing", id)
 		}

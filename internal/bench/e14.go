@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+
+	"idlog/internal/adorn"
+	"idlog/internal/analysis"
+	"idlog/internal/choice"
+	"idlog/internal/core"
+	"idlog/internal/incremental"
+	"idlog/internal/value"
+)
+
+// e14Info compiles an example the way the engine front-end does:
+// choice literals translate to ID-literals before analysis.
+func e14Info(src string) *analysis.Info {
+	prog, err := choice.Translate(mustParse(src))
+	if err != nil {
+		panic(err)
+	}
+	return mustAnalyze(prog)
+}
+
+// e14Examples are the paper's Example 1–6 programs (7–8 derive from 6
+// via the §4 optimize chain). The ID-bearing ones exercise the
+// fallback boundary: an ID-literal over a mutated base predicate
+// forces a stratum recompute, so their "incremental" latency is the
+// recompute floor plus bookkeeping — the table reports that honestly.
+var e14Examples = []struct {
+	name    string
+	src     string
+	insPred string
+}{
+	{"ex1-man", `
+		sex_guess(X, male) :- person(X).
+		sex_guess(X, female) :- person(X).
+		man(X) :- sex_guess[1](X, male, 1).
+	`, "person"},
+	{"ex2-man-woman", `
+		sex_guess(X, male) :- person(X).
+		sex_guess(X, female) :- person(X).
+		man(X) :- sex_guess[1](X, male, 1).
+		woman(X) :- sex_guess[1](X, female, 1).
+	`, "person"},
+	{"ex3-dl-contrast", `
+		guess(X, in) :- person(X).
+		guess(X, out) :- person(X).
+		chosen(X) :- guess[1](X, in, 1).
+	`, "person"},
+	{"ex4-choice", `
+		pick(N, D) :- emp(N, D), choice((D), (N)).
+	`, "emp"},
+	{"ex5-sampling", `
+		select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2.
+	`, "emp"},
+	{"ex6-reach-source", `
+		q(X) :- a(X, Y).
+		a(X, Y) :- p(X, Z), a(Z, Y).
+		a(X, Y) :- p(X, Y).
+	`, "p"},
+}
+
+// e14Workload is one measured configuration: a program, its EDB, a
+// generator of fresh insertable facts, and the relation deletions
+// draw from.
+type e14Workload struct {
+	name    string
+	info    *analysis.Info
+	db      *core.Database
+	newFact func(i int) core.Fact
+	delPred string
+}
+
+// e14DB builds the shared paper-example EDB at the requested scale:
+// persons, a depts×perDept employee table, and a p-chain with side
+// edges (the Example 6 graph).
+func e14DB(persons, depts, perDept, pgraph int) *core.Database {
+	db := core.NewDatabase()
+	for i := 0; i < persons; i++ {
+		_ = db.Add("person", value.Strs(fmt.Sprintf("p%04d", i)))
+	}
+	for d := 0; d < depts; d++ {
+		for e := 0; e < perDept; e++ {
+			_ = db.Add("emp", value.Strs(fmt.Sprintf("e%d_%d", d, e), fmt.Sprintf("dept%d", d)))
+		}
+	}
+	for i := 0; i < pgraph; i++ {
+		_ = db.Add("p", value.Strs(fmt.Sprintf("v%04d", i), fmt.Sprintf("v%04d", i+1)))
+		if i%5 == 0 {
+			_ = db.Add("p", value.Strs(fmt.Sprintf("v%04d", i), fmt.Sprintf("w%04d", i)))
+		}
+	}
+	return db
+}
+
+// e14Deletes picks n distinct existing tuples of pred at spread
+// positions, so deletions hit the middle of chains rather than one
+// end.
+func e14Deletes(db *core.Database, pred string, n int) []core.Fact {
+	tuples := db.Relation(pred).Sorted()
+	if n > len(tuples) {
+		n = len(tuples)
+	}
+	seen := make(map[int]bool, n)
+	out := make([]core.Fact, 0, n)
+	for i := 0; len(out) < n; i++ {
+		j := (i*37 + 11) % len(tuples)
+		for seen[j] {
+			j = (j + 1) % len(tuples)
+		}
+		seen[j] = true
+		out = append(out, core.Fact{Pred: pred, Tuple: tuples[j]})
+	}
+	return out
+}
+
+// e14EDBSize is the total tuple count across the workload's input
+// relations.
+func e14EDBSize(db *core.Database) int {
+	n := 0
+	for _, name := range db.Names() {
+		n += db.Relation(name).Len()
+	}
+	return n
+}
+
+// E14 is the incremental-maintenance experiment: latency of applying a
+// batch of EDB mutations through a live incremental view versus
+// recomputing the model from scratch, over the paper's Examples 1–8
+// and transitive closure, at update sizes 1, 10, and 1% of the EDB.
+func E14(chain, grid, persons int, emp [2]int, pgraph int) *Table {
+	t := &Table{
+		ID:    "E14",
+		Title: "incremental maintenance vs full recompute (live EDB mutations)",
+		Claim: "delta/DRed maintenance makes small updates to a materialized model far cheaper than recomputation; ID-bearing strata fall back to stratum recompute, bounding their gain at the recompute floor",
+		Columns: []string{"workload", "|EDB|", "op", "Δ", "path",
+			"incr ms", "full ms", "speedup"},
+	}
+
+	var workloads []e14Workload
+	workloads = append(workloads, e14Workload{
+		name: fmt.Sprintf("tc-chain-%d", chain),
+		info: mustAnalyze(mustParse(tcSrc)),
+		db:   ChainDB(chain),
+		newFact: func(i int) core.Fact {
+			// A fresh leaf hung off an existing chain node: real
+			// propagation work (every ancestor reaches the leaf).
+			return core.Fact{Pred: "e",
+				Tuple: value.Ints(int64((i*17)%chain), int64(chain+1+i))}
+		},
+		delPred: "e",
+	})
+	workloads = append(workloads, e14Workload{
+		name: fmt.Sprintf("tc-grid-%dx%d", grid, grid),
+		info: mustAnalyze(mustParse(tcSrc)),
+		db:   GridDB(grid),
+		newFact: func(i int) core.Fact {
+			return core.Fact{Pred: "e",
+				Tuple: value.Ints(int64((i*31)%(grid*grid)), int64(grid*grid+i))}
+		},
+		delPred: "e",
+	})
+
+	paperBase := e14DB(persons, emp[0], emp[1], pgraph)
+	newFactFor := func(pred string) func(i int) core.Fact {
+		switch pred {
+		case "person":
+			return func(i int) core.Fact {
+				return core.Fact{Pred: "person", Tuple: value.Strs(fmt.Sprintf("x%04d", i))}
+			}
+		case "emp":
+			return func(i int) core.Fact {
+				return core.Fact{Pred: "emp",
+					Tuple: value.Strs(fmt.Sprintf("x%04d", i), fmt.Sprintf("dept%d", i%emp[0]))}
+			}
+		default: // p
+			return func(i int) core.Fact {
+				return core.Fact{Pred: "p",
+					Tuple: value.Strs(fmt.Sprintf("v%04d", (i*17)%pgraph), fmt.Sprintf("z%04d", i))}
+			}
+		}
+	}
+	for _, ex := range e14Examples {
+		workloads = append(workloads, e14Workload{
+			name:    ex.name,
+			info:    e14Info(ex.src),
+			db:      paperBase,
+			newFact: newFactFor(ex.insPred),
+			delPred: ex.insPred,
+		})
+	}
+	// Examples 7–8: the §4 rewrite of Example 6, derived as the paper
+	// derives it.
+	opt, err := adorn.Optimize(mustParse(e14Examples[5].src), "q")
+	if err != nil {
+		panic(err)
+	}
+	workloads = append(workloads, e14Workload{
+		name:    "ex7-8-optimized",
+		info:    mustAnalyze(opt),
+		db:      paperBase,
+		newFact: newFactFor("p"),
+		delPred: "p",
+	})
+
+	var tcSingleInsertSpeedup float64
+	for _, w := range workloads {
+		opts := seededOpts(42)
+		edb := e14EDBSize(w.db)
+		sizes := []int{1, 10, edb / 100}
+		for _, u := range sizes {
+			if u < 1 {
+				continue
+			}
+			for _, op := range []string{"insert", "delete"} {
+				v, err := incremental.NewView(w.info, w.db.Freeze(), opts)
+				if err != nil {
+					panic(fmt.Sprintf("E14 %s: %v", w.name, err))
+				}
+				var ins, del []core.Fact
+				if op == "insert" {
+					for i := 0; i < u; i++ {
+						ins = append(ins, w.newFact(i))
+					}
+				} else {
+					del = e14Deletes(w.db, w.delPred, u)
+				}
+				var mutated *core.Database
+				var up incremental.UpdateStats
+				incrDur, _ := timed(func() error {
+					mutated, up, err = v.ApplyFacts(ins, del, nil)
+					return err
+				})
+				if err != nil {
+					panic(fmt.Sprintf("E14 %s %s: %v", w.name, op, err))
+				}
+				var full *core.Result
+				fullDur, _ := timed(func() error {
+					full = evalOnce(w.info, mutated, opts)
+					return nil
+				})
+				if ok, diff := v.Equal(full); !ok {
+					panic(fmt.Sprintf("E14 %s %s Δ=%d: incremental and recompute disagree: %s",
+						w.name, op, u, diff))
+				}
+				path := "incremental"
+				if up.FallbackFrom >= 0 {
+					path = fmt.Sprintf("fallback@%d", up.FallbackFrom)
+				}
+				speedup := float64(fullDur) / float64(max64(int64(incrDur), 1))
+				if w.name == workloads[0].name && op == "insert" && u == 1 {
+					tcSingleInsertSpeedup = speedup
+				}
+				t.Rows = append(t.Rows, []string{
+					w.name, fmt.Sprint(edb), op, fmt.Sprint(u), path,
+					ms(incrDur), ms(fullDur), fmt.Sprintf("%.1fx", speedup)})
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"every row verified: the maintained view is tuple-identical to a from-scratch recompute of the mutated EDB",
+		fmt.Sprintf("single-fact insert on tc-chain: %.1fx vs full recompute", tcSingleInsertSpeedup),
+		"ID-bearing examples (1–5) mutate the base of an ID-literal, so each update recomputes the affected strata (fallback path); the speedup shown is the honest bound for those programs",
+		"DRed overdeletion is pessimistic on long chains: deleting many mid-chain edges can overdelete (and rederive) most of the closure, costing more than recompute — the win concentrates on small deltas")
+	return t
+}
+
+// max64 avoids a zero denominator when a mutation is under the clock
+// resolution.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

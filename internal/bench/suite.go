@@ -49,6 +49,14 @@ type Suite struct {
 	E13Grid    int
 	E13Chain   int
 	E13Emp     [2]int
+	// E14Chain/E14Grid size the transitive-closure graphs for the
+	// incremental-maintenance experiment; E14Persons/E14Emp/E14PGraph
+	// size the paper-example EDBs it maintains views over.
+	E14Chain   int
+	E14Grid    int
+	E14Persons int
+	E14Emp     [2]int
+	E14PGraph  int
 }
 
 // Quick returns a suite sized to finish in a few seconds.
@@ -79,6 +87,11 @@ func Quick() Suite {
 		E13Grid:     12,
 		E13Chain:    192,
 		E13Emp:      [2]int{20, 500},
+		E14Chain:    256,
+		E14Grid:     12,
+		E14Persons:  200,
+		E14Emp:      [2]int{10, 40},
+		E14PGraph:   300,
 	}
 }
 
@@ -110,6 +123,11 @@ func Full() Suite {
 		E13Grid:     20,
 		E13Chain:    512,
 		E13Emp:      [2]int{50, 2000},
+		E14Chain:    512,
+		E14Grid:     16,
+		E14Persons:  1000,
+		E14Emp:      [2]int{20, 100},
+		E14PGraph:   1000,
 	}
 }
 
@@ -138,5 +156,6 @@ func Run(s Suite, only string) []*Table {
 	run("E10", func() *Table { return E10(s.E10Sizes, s.E10Seeds) })
 	run("E11", func() *Table { return E11(s.E11Reps, s.E11Chain, s.E11Grid, s.E11Emp[0], s.E11Emp[1]) })
 	run("E13", func() *Table { return E13(s.E13Reps, s.E13Grid, s.E13Chain, s.E13Emp[0], s.E13Emp[1], s.E13Workers) })
+	run("E14", func() *Table { return E14(s.E14Chain, s.E14Grid, s.E14Persons, s.E14Emp, s.E14PGraph) })
 	return out
 }

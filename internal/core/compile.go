@@ -75,6 +75,26 @@ type compiledClause struct {
 // compileClause translates an ordered clause into slot form. stratumPred
 // reports whether a predicate belongs to the stratum being compiled.
 func compileClause(oc *analysis.OrderedClause, stratumPred func(string) bool) (*compiledClause, error) {
+	cc, _, err := compile(oc, stratumPred, false)
+	return cc, err
+}
+
+// compileClauseHeadBound compiles oc with every head variable bound
+// BEFORE the first body literal: body occurrences of head variables
+// become probe-able argBound positions, so the walk restricted to one
+// candidate head tuple costs roughly the tuple's join degree instead of
+// the clause's full join. The returned seed args describe, per head
+// position, how to load a candidate tuple into the environment
+// (argConst: the tuple value must equal the constant; argBind: store
+// into the slot; argCheck: must equal the slot already stored by an
+// earlier head position). This is the rederivation engine of the
+// incremental maintenance layer (DRed's "does t still have a
+// derivation?" probe).
+func compileClauseHeadBound(oc *analysis.OrderedClause, stratumPred func(string) bool) (*compiledClause, []compiledArg, error) {
+	return compile(oc, stratumPred, true)
+}
+
+func compile(oc *analysis.OrderedClause, stratumPred func(string) bool, headBound bool) (*compiledClause, []compiledArg, error) {
 	slots := map[string]int{}
 	slotOf := func(name string) int {
 		if s, ok := slots[name]; ok {
@@ -87,6 +107,24 @@ func compileClause(oc *analysis.OrderedClause, stratumPred func(string) bool) (*
 	cc := &compiledClause{src: oc, srcText: oc.Source.String(), headPred: oc.Clause.Head.Pred}
 
 	bound := map[string]bool{}
+	var seed []compiledArg
+	if headBound {
+		for _, t := range oc.Clause.Head.Args {
+			switch t := t.(type) {
+			case ast.Const:
+				seed = append(seed, compiledArg{kind: argConst, val: t.Val})
+			case ast.Var:
+				if bound[t.Name] {
+					seed = append(seed, compiledArg{kind: argCheck, slot: slotOf(t.Name)})
+				} else {
+					bound[t.Name] = true
+					seed = append(seed, compiledArg{kind: argBind, slot: slotOf(t.Name)})
+				}
+			default:
+				return nil, nil, fmt.Errorf("compile %s: unsupported head term %T", oc.Source, t)
+			}
+		}
+	}
 	for li, l := range oc.Clause.Body {
 		a := l.Atom
 		cl := compiledLit{neg: l.Neg, pred: a.Pred, isID: a.IsID}
@@ -112,7 +150,7 @@ func compileClause(oc *analysis.OrderedClause, stratumPred func(string) bool) (*
 					cl.args = append(cl.args, compiledArg{kind: argBind, slot: slotOf(t.Name)})
 				}
 			default:
-				return nil, fmt.Errorf("compile %s: unsupported term %T", oc.Source, t)
+				return nil, nil, fmt.Errorf("compile %s: unsupported term %T", oc.Source, t)
 			}
 		}
 		if cl.builtin == nil {
@@ -148,16 +186,16 @@ func compileClause(oc *analysis.OrderedClause, stratumPred func(string) bool) (*
 		case ast.Var:
 			s, ok := slots[t.Name]
 			if !ok {
-				return nil, fmt.Errorf("compile %s: head variable %s unbound (analysis should have caught this)", oc.Source, t.Name)
+				return nil, nil, fmt.Errorf("compile %s: head variable %s unbound (analysis should have caught this)", oc.Source, t.Name)
 			}
 			cc.headArgs = append(cc.headArgs, compiledArg{kind: argBound, slot: s})
 		default:
-			return nil, fmt.Errorf("compile %s: unsupported head term %T", oc.Source, t)
+			return nil, nil, fmt.Errorf("compile %s: unsupported head term %T", oc.Source, t)
 		}
 	}
 	cc.nslots = len(slots)
 	cc.headBuf = make(value.Tuple, len(cc.headArgs))
-	return cc, nil
+	return cc, seed, nil
 }
 
 // clone gives a parallel worker its own copy of the clause: the static

@@ -320,7 +320,7 @@ func (e *engine) evalClauseDelta(cc *compiledClause, deltaPos int, deltaRel, del
 func (e *engine) run(cc *compiledClause, deltaPos int, deltaRel, deltaSink, full *relation.Relation) (int, error) {
 	inserted := 0
 	e.curClause = cc.srcText
-	rn := runner{e: e, stats: &e.stats}
+	rn := runner{resolve: e.resolve, stats: &e.stats}
 	rn.derive = func(cc *compiledClause, env []value.Value, head value.Tuple) error {
 		if e.governed {
 			// Amortized governance: consult the guard only when the
@@ -383,11 +383,14 @@ func (e *engine) run(cc *compiledClause, deltaPos int, deltaRel, deltaSink, full
 // (the compiled scratch buffers are single-threaded by design). The
 // walk is pure enumeration — each complete body instantiation hands the
 // candidate head tuple (scratch; clone to retain) to the derive hook,
-// which carries all mutable policy: governance, dedup, insertion.
+// which carries all mutable policy: governance, dedup, insertion. The
+// resolve hook maps a compiled literal to the relation it reads, so the
+// same walk serves full evaluation (engine state) and incremental
+// maintenance (a view's relation maps).
 type runner struct {
-	e      *engine
-	stats  *Stats
-	derive func(cc *compiledClause, env []value.Value, head value.Tuple) error
+	resolve func(cl *compiledLit) (*relation.Relation, error)
+	stats   *Stats
+	derive  func(cc *compiledClause, env []value.Value, head value.Tuple) error
 }
 
 // run walks cc with the delta relation substituted at deltaPos (-1 for
@@ -395,6 +398,15 @@ type runner struct {
 // [lo, hi) — the parallel shard bounds; hi = -1 means unrestricted.
 func (rn *runner) run(cc *compiledClause, deltaPos int, deltaRel *relation.Relation, lo, hi int) error {
 	env := make([]value.Value, cc.nslots)
+	return rn.walk(cc, env, deltaPos, deltaRel, lo, hi)
+}
+
+// walk is run with a caller-provided environment, which may be
+// pre-seeded (head-bound rederivation probes seed the head slots from a
+// candidate tuple before walking the body). The env may be reused
+// across walks without clearing: compilation guarantees every slot read
+// was bound earlier in the same walk or by the seed.
+func (rn *runner) walk(cc *compiledClause, env []value.Value, deltaPos int, deltaRel *relation.Relation, lo, hi int) error {
 	var rec func(depth int) error
 	rec = func(depth int) error {
 		if depth == len(cc.lits) {
@@ -415,7 +427,7 @@ func (rn *runner) run(cc *compiledClause, deltaPos int, deltaRel *relation.Relat
 		if cl.neg {
 			return rn.stepNegated(cl, env, depth, rec)
 		}
-		rel, err := rn.e.resolve(cl)
+		rel, err := rn.resolve(cl)
 		if err != nil {
 			return err
 		}
@@ -499,7 +511,7 @@ func (rn *runner) stepScan(cl *compiledLit, rel *relation.Relation, env []value.
 
 // stepNegated checks a fully-bound negated relational literal.
 func (rn *runner) stepNegated(cl *compiledLit, env []value.Value, depth int, rec func(int) error) error {
-	rel, err := rn.e.resolve(cl)
+	rel, err := rn.resolve(cl)
 	if err != nil {
 		return err
 	}

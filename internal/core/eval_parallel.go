@@ -205,7 +205,7 @@ func (e *engine) parallelFixpoint(s *analysis.Stratum, clauses []*compiledClause
 		for j, cc := range clauses {
 			w.clauses[j] = cc.clone()
 		}
-		w.rn = runner{e: e, derive: w.derive}
+		w.rn = runner{resolve: e.resolve, derive: w.derive}
 		workers[i] = w
 	}
 

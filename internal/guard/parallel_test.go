@@ -92,10 +92,15 @@ func TestParallelReserveExact(t *testing.T) {
 				if err != nil {
 					return
 				}
-				// Use an uneven share and refund the rest.
+				// Use an uneven share and refund the rest, but always
+				// consume at least one derivation: a worker that refunds
+				// its whole grant models no real engine state (workers
+				// only reserve when they have pending derivations) and
+				// can spin on the budget's tail forever once the
+				// full-consuming workers have exited.
 				u := n - w%3
-				if u < 0 {
-					u = 0
+				if u < 1 {
+					u = 1
 				}
 				used.Add(int64(u))
 				p.Refund(n - u)

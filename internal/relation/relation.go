@@ -134,6 +134,47 @@ func (r *Relation) store(key string, t value.Tuple) {
 	}
 }
 
+// Remove deletes t if present and reports whether it was removed.
+// Removal uses swap-remove: the last tuple moves into the vacated
+// position, so insertion order is perturbed. That is safe for the
+// engine because every order-sensitive consumer (oracles, Fingerprint,
+// Sorted, Equal) works from canonical or set semantics, never from
+// insertion order. Published secondary indexes hold tuple positions,
+// which go stale under swap-remove, so Remove drops them; the next
+// probe rebuilds lazily. Frozen relations reject Remove.
+func (r *Relation) Remove(t value.Tuple) (bool, error) {
+	if r.frozen {
+		return false, fmt.Errorf("relation %s: remove from frozen relation", r.name)
+	}
+	if len(t) != r.arity {
+		return false, fmt.Errorf("relation %s: removing arity-%d tuple from arity-%d relation", r.name, len(t), r.arity)
+	}
+	var buf [keyBufSize]byte
+	key := t.AppendKey(buf[:0])
+	pos, ok := r.primary[string(key)]
+	if !ok {
+		return false, nil
+	}
+	last := len(r.tuples) - 1
+	if pos != last {
+		moved := r.tuples[last]
+		r.tuples[pos] = moved
+		var mbuf [keyBufSize]byte
+		r.primary[string(moved.AppendKey(mbuf[:0]))] = pos
+	}
+	r.tuples[last] = nil
+	r.tuples = r.tuples[:last]
+	delete(r.primary, string(key))
+	// Position-based secondary indexes are now stale; unpublish them all
+	// and let probes rebuild on demand.
+	if r.shared.Load() != nil {
+		r.buildMu.Lock()
+		r.shared.Store(nil)
+		r.buildMu.Unlock()
+	}
+	return true, nil
+}
+
 // MustInsert is Insert for static data; it panics on arity mismatch.
 func (r *Relation) MustInsert(t value.Tuple) bool {
 	added, err := r.Insert(t)

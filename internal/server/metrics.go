@@ -26,6 +26,17 @@ type metrics struct {
 	sessionsEvicted   atomic.Uint64
 	parallelQueries   atomic.Uint64
 
+	// Mutation-path counters: effective EDB changes acknowledged, DRed
+	// rederivations across live-view maintenance, view rebuilds after
+	// failed incremental updates, and WAL activity.
+	factsInserted       atomic.Uint64
+	factsDeleted        atomic.Uint64
+	factsRederived      atomic.Uint64
+	viewRebuilds        atomic.Uint64
+	walAppends          atomic.Uint64
+	walCheckpoints      atomic.Uint64
+	walCheckpointErrors atomic.Uint64
+
 	// predicates maps predicate name -> *predStats.
 	predicates sync.Map
 }
@@ -56,7 +67,7 @@ type endpointMetrics struct {
 
 // endpointNames is the fixed instrumentation universe; requests
 // outside it (404 paths) land on "other".
-var endpointNames = []string{"programs", "query", "sample", "sessions", "healthz", "metrics", "other"}
+var endpointNames = []string{"programs", "query", "sample", "sessions", "facts", "views", "healthz", "metrics", "other"}
 
 func newMetrics() *metrics {
 	m := &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpointNames))}
@@ -172,6 +183,13 @@ func (m *metrics) render(b *strings.Builder, gauges map[string]float64) {
 	counter("idlogd_admission_rejected_total", "Requests rejected by admission control.", m.admissionRejected.Load())
 	counter("idlogd_sessions_evicted_total", "Sessions evicted after idling past the TTL.", m.sessionsEvicted.Load())
 	counter("idlogd_parallel_queries_total", "Evaluations that requested parallelism above 1.", m.parallelQueries.Load())
+	counter("idlogd_facts_inserted_total", "EDB tuples inserted by acknowledged mutations.", m.factsInserted.Load())
+	counter("idlogd_facts_deleted_total", "EDB tuples deleted by acknowledged mutations.", m.factsDeleted.Load())
+	counter("idlogd_facts_rederived_total", "Tuples rederived by DRed during live-view maintenance.", m.factsRederived.Load())
+	counter("idlogd_view_rebuilds_total", "Live views rebuilt after a failed incremental update.", m.viewRebuilds.Load())
+	counter("idlogd_wal_appends_total", "Mutation records appended to the write-ahead log.", m.walAppends.Load())
+	counter("idlogd_wal_checkpoints_total", "Checkpoint-and-truncate cycles completed.", m.walCheckpoints.Load())
+	counter("idlogd_wal_checkpoint_errors_total", "Checkpoint attempts that failed (retried on the next mutation).", m.walCheckpointErrors.Load())
 
 	type prow struct {
 		pred            string

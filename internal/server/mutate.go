@@ -1,0 +1,479 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"idlog"
+	"idlog/internal/wal"
+)
+
+// This file is the durable-mutation path: Database.Apply on a session's
+// snapshot, write-ahead logging with fsync-before-acknowledge,
+// incremental maintenance of the session's live views, periodic
+// checkpoint-and-truncate, and WAL replay on restart.
+//
+// Ordering invariant: a mutation is (1) validated and applied into a
+// NEW snapshot (invisible), (2) appended to the WAL and fsynced,
+// (3) swapped in and acknowledged. A crash before (2) loses an
+// unacknowledged request; a crash after (2) replays the mutation on
+// restart. Steps (2)+(3) run under the checkpoint read-lock so a
+// concurrent checkpoint can never persist a snapshot that misses a
+// logged-but-unswapped mutation.
+
+// SetWAL arms write-ahead logging: every acknowledged mutation is
+// appended (and fsynced) before its snapshot becomes visible. Call
+// before serving traffic, after replaying the log.
+func (s *Server) SetWAL(l *wal.Log) { s.wal = l }
+
+// OpenWAL is the full durable-startup recipe used by cmd/idlogd: load
+// the checkpoint snapshot <path>.snapshot into the base database when
+// one exists (superseding any -load seed installed earlier), open the
+// log at path — creating it, or truncating a torn tail left by a crash
+// — replay every intact entry, and arm logging for new mutations.
+func (s *Server) OpenWAL(path string) error {
+	db, err := idlog.LoadSnapshot(path + ".snapshot")
+	switch {
+	case err == nil:
+		s.SetBaseDB(db)
+	case errors.Is(err, os.ErrNotExist):
+		// First boot (or never checkpointed): replay starts from the
+		// current base.
+	default:
+		return fmt.Errorf("wal snapshot: %w", err)
+	}
+	l, recs, err := wal.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Replay(recs); err != nil {
+		l.Close()
+		return err
+	}
+	s.SetWAL(l)
+	return nil
+}
+
+// WAL returns the armed log, if any.
+func (s *Server) WAL() *wal.Log { return s.wal }
+
+// SetBaseDB installs db (frozen) as the base database served to
+// queries that name no session and mutated by POST /v1/facts.
+func (s *Server) SetBaseDB(db *idlog.Database) {
+	db.Freeze()
+	s.base.db.Store(db)
+}
+
+// BaseDB returns the current base snapshot.
+func (s *Server) BaseDB() *idlog.Database { return s.base.db.Load() }
+
+// Replay applies WAL records (as returned by wal.Open) to the server's
+// state: records with an empty session address the base database,
+// others their named session, which is created when missing. Called on
+// startup before SetWAL and before serving.
+func (s *Server) Replay(recs []wal.Record) error {
+	for i, rec := range recs {
+		sess := s.base
+		if rec.Session != "" {
+			got, ok := s.sessions.get(rec.Session)
+			if !ok {
+				created, err := s.sessions.create(rec.Session, idlog.NewDatabase())
+				if err != nil {
+					return fmt.Errorf("wal replay: recreate session %q: %w", rec.Session, err)
+				}
+				got = created
+			}
+			sess = got
+		}
+		cur := sess.db.Load()
+		next, _, err := cur.Apply(rec.Inserts, rec.Deletes)
+		if err != nil {
+			return fmt.Errorf("wal replay: entry %d (session %q): %w", i, rec.Session, err)
+		}
+		sess.db.Store(next)
+		sess.snapshot.Add(1)
+	}
+	return nil
+}
+
+// applyMutation runs one mutation batch against sess under the
+// session's mutation lock. bud bounds the incremental view maintenance.
+func (s *Server) applyMutation(sess *session, inserts, deletes []idlog.Fact, bud budget) (*mutateResponse, *apiError) {
+	start := time.Now()
+	sess.mutMu.Lock()
+	defer sess.mutMu.Unlock()
+
+	cur := sess.db.Load()
+	next, delta, err := cur.Apply(inserts, deletes)
+	if err != nil {
+		return nil, apiErrorf(http.StatusBadRequest, "invalid_argument", "%v", err)
+	}
+
+	// Durability before visibility: fsync the WAL entry, then swap. The
+	// read-lock spans both so a checkpoint (write-lock) sees either
+	// neither or both of {WAL entry, snapshot}.
+	s.walMu.RLock()
+	if s.wal != nil {
+		if err := s.wal.Append(wal.Record{Session: sess.name, Inserts: inserts, Deletes: deletes}); err != nil {
+			s.walMu.RUnlock()
+			return nil, apiErrorf(http.StatusInternalServerError, "internal", "wal append: %v", err)
+		}
+		s.metrics.walAppends.Add(1)
+	}
+	sess.db.Store(next)
+	sess.snapshot.Add(1)
+	sess.touch()
+	s.walMu.RUnlock()
+
+	s.metrics.factsInserted.Add(uint64(delta.InsertCount()))
+	s.metrics.factsDeleted.Add(uint64(delta.DeleteCount()))
+
+	resp := &mutateResponse{
+		Session:  sess.name,
+		Snapshot: sess.snapshot.Load(),
+		Inserted: delta.InsertCount(),
+		Deleted:  delta.DeleteCount(),
+		Views:    s.maintainViews(sess, next, delta, bud),
+	}
+	s.maybeCheckpoint()
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp, nil
+}
+
+// maintainViews advances every live view of sess to the new snapshot.
+// A view whose incremental update fails (budget, staleness) is rebuilt
+// from scratch; a view whose rebuild also fails is dropped. Mutations
+// hold the views write-lock, so queries never observe a half-updated
+// view.
+func (s *Server) maintainViews(sess *session, db *idlog.Database, delta *idlog.Delta, bud budget) []viewUpdateJSON {
+	sess.viewsMu.Lock()
+	defer sess.viewsMu.Unlock()
+	if len(sess.views) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(sess.views))
+	for name := range sess.views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]viewUpdateJSON, 0, len(names))
+	for _, name := range names {
+		v := sess.views[name]
+		up, err := v.lv.Advance(db, delta, bud.options()...)
+		vu := viewUpdateJSON{Name: name, UpdateStats: up}
+		if err != nil {
+			vu.Error = err.Error()
+			if rerr := v.lv.Rebuild(db); rerr != nil {
+				delete(sess.views, name)
+				vu.Dropped = true
+				vu.Error = fmt.Sprintf("%v; rebuild: %v", err, rerr)
+			} else {
+				v.rebuilds++
+				vu.Rebuilt = true
+				s.metrics.viewRebuilds.Add(1)
+			}
+		}
+		s.metrics.factsRederived.Add(uint64(up.Rederived))
+		out = append(out, vu)
+	}
+	return out
+}
+
+// maybeCheckpoint triggers a checkpoint when the WAL has grown past the
+// configured entry threshold. Failures are counted and retried on the
+// next mutation; the WAL keeps accumulating until one succeeds, so no
+// durability is lost.
+func (s *Server) maybeCheckpoint() {
+	if s.wal == nil || s.cfg.WALCheckpointEntries <= 0 {
+		return
+	}
+	if s.wal.Entries() < s.cfg.WALCheckpointEntries {
+		return
+	}
+	if err := s.Checkpoint(); err != nil {
+		s.metrics.walCheckpointErrors.Add(1)
+	}
+}
+
+// Checkpoint makes the WAL short again without losing durability: the
+// base snapshot is durably written to <wal>.snapshot (write-to-temp,
+// rename), the log is truncated, and every live session's current facts
+// are re-appended as one consolidated entry each. On restart the
+// snapshot plus the truncated log reproduce exactly the pre-checkpoint
+// state.
+func (s *Server) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if err := idlog.SaveSnapshot(s.wal.Path()+".snapshot", s.base.db.Load()); err != nil {
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+	if err := s.wal.Reset(); err != nil {
+		return fmt.Errorf("checkpoint: truncate: %w", err)
+	}
+	for _, sess := range s.sessions.list() {
+		db := sess.db.Load()
+		var facts []idlog.Fact
+		for _, name := range db.Names() {
+			for _, t := range db.Relation(name).Tuples() {
+				facts = append(facts, idlog.Fact{Pred: name, Tuple: t})
+			}
+		}
+		if len(facts) == 0 {
+			continue
+		}
+		if err := s.wal.Append(wal.Record{Session: sess.name, Inserts: facts}); err != nil {
+			return fmt.Errorf("checkpoint: consolidate session %q: %w", sess.name, err)
+		}
+	}
+	s.metrics.walCheckpoints.Add(1)
+	return nil
+}
+
+// parseMutation decodes the textual insert/delete fact lists of a
+// factsRequest (Facts is a legacy alias for Inserts).
+func parseMutation(req *factsRequest) (ins, dels []idlog.Fact, e *apiError) {
+	if req.Facts != "" {
+		fs, err := idlog.ParseFacts(req.Facts)
+		if err != nil {
+			return nil, nil, fromEngineError(err)
+		}
+		ins = append(ins, fs...)
+	}
+	if req.Inserts != "" {
+		fs, err := idlog.ParseFacts(req.Inserts)
+		if err != nil {
+			return nil, nil, fromEngineError(err)
+		}
+		ins = append(ins, fs...)
+	}
+	if req.Deletes != "" {
+		fs, err := idlog.ParseFacts(req.Deletes)
+		if err != nil {
+			return nil, nil, fromEngineError(err)
+		}
+		dels = append(dels, fs...)
+	}
+	if len(ins) == 0 && len(dels) == 0 {
+		return nil, nil, apiErrorf(http.StatusBadRequest, "invalid_argument", "no facts to insert or delete")
+	}
+	return ins, dels, nil
+}
+
+// handleBaseFacts mutates the base database: POST /v1/facts.
+func (s *Server) handleBaseFacts(w http.ResponseWriter, r *http.Request) {
+	var req factsRequest
+	if e := decode(r, &req); e != nil {
+		writeError(w, e)
+		return
+	}
+	s.mutateAndRespond(w, r, s.base, &req)
+}
+
+// handleSessionFacts mutates a named session: POST
+// /v1/sessions/{name}/facts. Insert-only bodies using the legacy
+// {"facts": "..."} shape keep working.
+func (s *Server) handleSessionFacts(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req factsRequest
+	if e := decode(r, &req); e != nil {
+		writeError(w, e)
+		return
+	}
+	sess, ok := s.sessions.get(name)
+	if !ok {
+		writeError(w, apiErrorf(http.StatusNotFound, "not_found", "session %q not found", name))
+		return
+	}
+	sess.pin()
+	defer sess.unpin()
+	s.mutateAndRespond(w, r, sess, &req)
+}
+
+// mutateAndRespond is the shared tail of the two facts endpoints:
+// parse, budget, admit, apply, respond.
+func (s *Server) mutateAndRespond(w http.ResponseWriter, r *http.Request, sess *session, req *factsRequest) {
+	ins, dels, e := parseMutation(req)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	bud, e := s.parseBudget(req.budgetFields)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	release, e := s.admit(r)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	defer release()
+	resp, e := s.applyMutation(sess, ins, dels, bud)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleViewCreate registers a live view on a session: POST
+// /v1/sessions/{name}/views.
+func (s *Server) handleViewCreate(w http.ResponseWriter, r *http.Request) {
+	sessName := r.PathValue("name")
+	var req viewRequest
+	if e := decode(r, &req); e != nil {
+		writeError(w, e)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, apiErrorf(http.StatusBadRequest, "invalid_argument", "name is required"))
+		return
+	}
+	if (req.Program == "") == (req.Source == "") {
+		writeError(w, apiErrorf(http.StatusBadRequest, "invalid_argument", "exactly one of program or source is required"))
+		return
+	}
+	bud, e := s.parseBudget(req.budgetFields)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	var prog *idlog.Program
+	progName := "(inline)"
+	if req.Program != "" {
+		p, e := s.lookupProgram(req.Program)
+		if e != nil {
+			writeError(w, e)
+			return
+		}
+		prog, progName = p.prog, p.name
+	} else {
+		parsed, err := idlog.Parse(req.Source)
+		if err != nil {
+			writeError(w, fromEngineError(err))
+			return
+		}
+		prog = parsed
+	}
+	sess, ok := s.sessions.get(sessName)
+	if !ok {
+		writeError(w, apiErrorf(http.StatusNotFound, "not_found", "session %q not found", sessName))
+		return
+	}
+	sess.pin()
+	defer sess.unpin()
+
+	release, e := s.admit(r)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	defer release()
+
+	opts := bud.options()
+	if req.Seed != nil {
+		opts = append(opts, idlog.WithSeed(*req.Seed))
+	}
+	// Serialize against mutations so the view's initial model matches a
+	// definite snapshot generation.
+	sess.mutMu.Lock()
+	defer sess.mutMu.Unlock()
+	sess.viewsMu.Lock()
+	defer sess.viewsMu.Unlock()
+	if _, dup := sess.views[req.Name]; dup {
+		writeError(w, apiErrorf(http.StatusConflict, "already_exists", "view %q already exists on session %q", req.Name, sessName))
+		return
+	}
+	if len(sess.views) >= s.cfg.MaxViews {
+		writeError(w, apiErrorf(http.StatusTooManyRequests, "resource_exhausted", "view table full (%d views)", s.cfg.MaxViews))
+		return
+	}
+	lv, err := prog.NewLiveView(sess.db.Load(), opts...)
+	if err != nil {
+		writeError(w, fromEngineError(err))
+		return
+	}
+	v := &liveView{name: req.Name, program: progName, lv: lv}
+	sess.views[req.Name] = v
+	writeJSON(w, http.StatusOK, describeView(v))
+}
+
+// handleViewList lists a session's live views: GET
+// /v1/sessions/{name}/views.
+func (s *Server) handleViewList(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("name"))
+	if !ok {
+		writeError(w, apiErrorf(http.StatusNotFound, "not_found", "session %q not found", r.PathValue("name")))
+		return
+	}
+	sess.viewsMu.RLock()
+	infos := make([]viewInfo, 0, len(sess.views))
+	for _, v := range sess.views {
+		infos = append(infos, describeView(v))
+	}
+	sess.viewsMu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"views": infos})
+}
+
+// describeView renders one view's info; callers hold viewsMu.
+func describeView(v *liveView) viewInfo {
+	rels := map[string]int{}
+	for _, name := range v.lv.Relations() {
+		rels[name] = v.lv.Relation(name).Len()
+	}
+	return viewInfo{
+		Name:      v.name,
+		Program:   v.program,
+		Relations: rels,
+		Updates:   v.lv.TotalUpdates(),
+		Rebuilds:  v.rebuilds,
+	}
+}
+
+// serveViewQuery answers a query addressed at a live view: relations
+// come straight from the maintained model, no evaluation runs.
+func (s *Server) serveViewQuery(w http.ResponseWriter, req *queryRequest) {
+	if req.Session == "" || len(req.Predicates) == 0 {
+		writeError(w, apiErrorf(http.StatusBadRequest, "invalid_argument", "view queries require session and predicates"))
+		return
+	}
+	if req.Program != "" || req.Source != "" || req.Goal != "" || req.Facts != "" {
+		writeError(w, apiErrorf(http.StatusBadRequest, "invalid_argument", "view queries take no program, source, goal, or facts"))
+		return
+	}
+	sess, ok := s.sessions.get(req.Session)
+	if !ok {
+		writeError(w, apiErrorf(http.StatusNotFound, "not_found", "session %q not found", req.Session))
+		return
+	}
+	sess.pin()
+	defer sess.unpin()
+	v, ok := sess.getView(req.View)
+	if !ok {
+		writeError(w, apiErrorf(http.StatusNotFound, "not_found", "view %q not found on session %q", req.View, req.Session))
+		return
+	}
+	start := time.Now()
+	sess.viewsMu.RLock()
+	defer sess.viewsMu.RUnlock()
+	resp := &queryResponse{Relations: map[string]relationJSON{}}
+	for _, p := range req.Predicates {
+		rel := v.lv.Relation(p)
+		if rel == nil {
+			writeError(w, apiErrorf(http.StatusBadRequest, "invalid_argument", "unknown predicate %q", p))
+			return
+		}
+		resp.Relations[p] = relationBody(rel)
+		s.metrics.observePredicate(p, rel.Len())
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idlog"
+	"idlog/internal/guard"
+	"idlog/internal/wal"
+)
+
+func TestBaseFactsMutation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// The base database starts empty: a sessionless query sees nothing.
+	var qr queryResponse
+	code := post(t, ts.URL+"/v1/query", queryRequest{Source: tcProgram, Goal: "tc(a, X)"}, &qr)
+	if code != 200 || len(qr.Rows) != 0 {
+		t.Fatalf("empty base: status %d rows %d", code, len(qr.Rows))
+	}
+
+	var mr mutateResponse
+	code = post(t, ts.URL+"/v1/facts", factsRequest{Inserts: tcFacts}, &mr)
+	if code != 200 || mr.Inserted != 3 || mr.Deleted != 0 {
+		t.Fatalf("base insert: status %d resp %+v", code, mr)
+	}
+	qr = queryResponse{}
+	post(t, ts.URL+"/v1/query", queryRequest{Source: tcProgram, Goal: "tc(a, X)"}, &qr)
+	if len(qr.Rows) != 3 {
+		t.Fatalf("after base insert: %d rows, want 3", len(qr.Rows))
+	}
+
+	// Deletes apply before inserts; no-ops are excluded from the counts.
+	mr = mutateResponse{}
+	code = post(t, ts.URL+"/v1/facts", factsRequest{
+		Inserts: "edge(c, d).", Deletes: "edge(a, b). edge(zz, zz)."}, &mr)
+	if code != 200 || mr.Inserted != 0 || mr.Deleted != 1 {
+		t.Fatalf("base mixed: status %d resp %+v", code, mr)
+	}
+	qr = queryResponse{}
+	post(t, ts.URL+"/v1/query", queryRequest{Source: tcProgram, Goal: "tc(a, X)"}, &qr)
+	if len(qr.Rows) != 0 {
+		t.Fatalf("after deleting edge(a,b): %d rows, want 0", len(qr.Rows))
+	}
+
+	// Typed rejection: an empty mutation and a non-fact body.
+	var eb errorBody
+	if code := post(t, ts.URL+"/v1/facts", factsRequest{}, &eb); code != 400 {
+		t.Fatalf("empty mutation: status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/facts", factsRequest{Inserts: "p(X) :- q(X)."}, &eb); code != 400 {
+		t.Fatalf("rule as fact: status %d", code)
+	}
+}
+
+func TestLiveViewLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	if code := post(t, ts.URL+"/v1/sessions", sessionRequest{Name: "s1", Facts: tcFacts}, nil); code != 200 {
+		t.Fatalf("create session: status %d", code)
+	}
+	var vi viewInfo
+	code := post(t, ts.URL+"/v1/sessions/s1/views", viewRequest{Name: "v1", Source: tcProgram}, &vi)
+	if code != 200 || vi.Relations["tc"] != 6 {
+		t.Fatalf("create view: status %d info %+v", code, vi)
+	}
+
+	// Query the view: relations served from the maintained model.
+	var qr queryResponse
+	code = post(t, ts.URL+"/v1/query", queryRequest{Session: "s1", View: "v1", Predicates: []string{"tc"}}, &qr)
+	if code != 200 || len(qr.Relations["tc"].Tuples) != 6 {
+		t.Fatalf("view query: status %d relations %+v", code, qr.Relations)
+	}
+
+	// A mutation maintains the view incrementally and reports per-view
+	// stats in the acknowledgment.
+	var mr mutateResponse
+	code = post(t, ts.URL+"/v1/sessions/s1/facts", factsRequest{
+		Inserts: "edge(d, e).", Deletes: "edge(a, b)."}, &mr)
+	if code != 200 || len(mr.Views) != 1 {
+		t.Fatalf("mutate: status %d resp %+v", code, mr)
+	}
+	vu := mr.Views[0]
+	if vu.Name != "v1" || vu.Rebuilt || vu.Dropped || vu.FallbackFrom != -1 {
+		t.Fatalf("view update: %+v", vu)
+	}
+	qr = queryResponse{}
+	post(t, ts.URL+"/v1/query", queryRequest{Session: "s1", View: "v1", Predicates: []string{"tc"}}, &qr)
+	got := qr.Relations["tc"].Text
+	want := "{(b, c), (b, d), (b, e), (c, d), (c, e), (d, e)}"
+	if !strings.Contains(got, "(b, e)") || strings.Contains(got, "(a,") {
+		t.Fatalf("view after mutation: %s, want %s", got, want)
+	}
+
+	// The listing carries cumulative update stats.
+	var listing struct {
+		Views []viewInfo `json:"views"`
+	}
+	if code := get(t, ts.URL+"/v1/sessions/s1/views", &listing); code != 200 || len(listing.Views) != 1 {
+		t.Fatalf("list views: status %d %+v", code, listing.Views)
+	}
+	if listing.Views[0].Updates.Deleted == 0 {
+		t.Fatalf("cumulative stats missing deletions: %+v", listing.Views[0].Updates)
+	}
+
+	// Duplicate view names conflict; unknown view queries 404.
+	if code := post(t, ts.URL+"/v1/sessions/s1/views", viewRequest{Name: "v1", Source: tcProgram}, nil); code != 409 {
+		t.Fatalf("duplicate view: status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/query", queryRequest{Session: "s1", View: "nope", Predicates: []string{"tc"}}, nil); code != 404 {
+		t.Fatalf("unknown view: status %d", code)
+	}
+}
+
+// TestWALReplayRoundTrip: mutations to the base and to a session are
+// durable across a restart — the replayed server answers identically.
+func TestWALReplayRoundTrip(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "idlogd.wal")
+
+	s1 := New(Config{})
+	if err := s1.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	if code := post(t, ts1.URL+"/v1/facts", factsRequest{Inserts: tcFacts}, nil); code != 200 {
+		t.Fatalf("base insert: status %d", code)
+	}
+	post(t, ts1.URL+"/v1/sessions", sessionRequest{Name: "s1"}, nil)
+	if code := post(t, ts1.URL+"/v1/sessions/s1/facts", factsRequest{Inserts: "edge(x, y)."}, nil); code != 200 {
+		t.Fatalf("session insert: status %d", code)
+	}
+	if code := post(t, ts1.URL+"/v1/facts", factsRequest{Deletes: "edge(b, c)."}, nil); code != 200 {
+		t.Fatalf("base delete: status %d", code)
+	}
+	ts1.Close()
+	s1.Close() // closes the WAL
+
+	// "Restart": a fresh server over the same WAL path.
+	s2 := New(Config{})
+	if err := s2.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+
+	var qr queryResponse
+	post(t, ts2.URL+"/v1/query", queryRequest{Source: tcProgram, Predicates: []string{"edge"}}, &qr)
+	if qr.Relations["edge"].Text != "edge{(a, b), (c, d)}" {
+		t.Fatalf("replayed base edge = %s", qr.Relations["edge"].Text)
+	}
+	qr = queryResponse{}
+	code := post(t, ts2.URL+"/v1/query", queryRequest{Source: tcProgram, Session: "s1", Predicates: []string{"edge"}}, &qr)
+	if code != 200 || qr.Relations["edge"].Text != "edge{(x, y)}" {
+		t.Fatalf("replayed session edge: status %d rel %s", code, qr.Relations["edge"].Text)
+	}
+}
+
+// TestWALCrashRecovery is the crash-consistency contract: a mutation
+// torn mid-append (guard fault injection) is never acknowledged and
+// never survives; every acknowledged mutation survives; the torn tail
+// is rejected by CRC on restart and truncated away.
+func TestWALCrashRecovery(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "idlogd.wal")
+
+	s1 := New(Config{})
+	if err := s1.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	// Arm the fault: the third append dies halfway through its write.
+	g := guard.New(nil, guard.Limits{})
+	g.Inject(guard.TornWrite(3))
+	s1.WAL().InjectFault(g)
+
+	ts1 := httptest.NewServer(s1.Handler())
+	if code := post(t, ts1.URL+"/v1/facts", factsRequest{Inserts: "edge(a, b)."}, nil); code != 200 {
+		t.Fatalf("first mutation: status %d", code)
+	}
+	if code := post(t, ts1.URL+"/v1/facts", factsRequest{Inserts: "edge(b, c)."}, nil); code != 200 {
+		t.Fatalf("second mutation: status %d", code)
+	}
+	// The third mutation crashes mid-append: 500, no acknowledgment,
+	// and the in-memory snapshot must NOT advance past the WAL.
+	var eb errorBody
+	if code := post(t, ts1.URL+"/v1/facts", factsRequest{Inserts: "edge(c, d)."}, &eb); code != 500 {
+		t.Fatalf("torn mutation: status %d body %+v", code, eb)
+	}
+	var qr queryResponse
+	post(t, ts1.URL+"/v1/query", queryRequest{Source: tcProgram, Predicates: []string{"edge"}}, &qr)
+	if qr.Relations["edge"].Text != "edge{(a, b), (b, c)}" {
+		t.Fatalf("unacknowledged mutation applied: %s", qr.Relations["edge"].Text)
+	}
+	ts1.Close()
+	s1.Close()
+
+	// Restart: the torn entry must be truncated, the two acknowledged
+	// mutations replayed — zero lost acknowledgments, zero partial
+	// applications.
+	l, recs, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want the 2 acknowledged", len(recs))
+	}
+	s2 := New(Config{})
+	if err := s2.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+	qr = queryResponse{}
+	post(t, ts2.URL+"/v1/query", queryRequest{Source: tcProgram, Predicates: []string{"edge"}}, &qr)
+	if qr.Relations["edge"].Text != "edge{(a, b), (b, c)}" {
+		t.Fatalf("recovered state: %s", qr.Relations["edge"].Text)
+	}
+}
+
+// TestWALCheckpoint: once the WAL passes the entry threshold it is
+// truncated behind a durable snapshot plus consolidated session
+// entries, and a restart reproduces the exact pre-checkpoint state.
+func TestWALCheckpoint(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "idlogd.wal")
+
+	s1 := New(Config{WALCheckpointEntries: 3})
+	if err := s1.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	post(t, ts1.URL+"/v1/sessions", sessionRequest{Name: "s1"}, nil)
+	for _, f := range []string{"edge(a, b).", "edge(b, c).", "edge(c, d)."} {
+		if code := post(t, ts1.URL+"/v1/facts", factsRequest{Inserts: f}, nil); code != 200 {
+			t.Fatalf("mutation %q failed", f)
+		}
+	}
+	if code := post(t, ts1.URL+"/v1/sessions/s1/facts", factsRequest{Inserts: "edge(s, t)."}, nil); code != 200 {
+		t.Fatal("session mutation failed")
+	}
+	// The third base mutation crossed the threshold: the WAL now holds
+	// only the post-checkpoint entries (session consolidation + the
+	// session insert), not the three base mutations.
+	if got := s1.WAL().Entries(); got >= 3 {
+		t.Fatalf("WAL holds %d entries after checkpoint, want < 3", got)
+	}
+	if db, err := idlog.LoadSnapshot(walPath + ".snapshot"); err != nil {
+		t.Fatalf("checkpoint snapshot: %v", err)
+	} else if db.Relation("edge").Len() != 3 {
+		t.Fatalf("snapshot edge count = %d", db.Relation("edge").Len())
+	}
+	ts1.Close()
+	s1.Close()
+
+	s2 := New(Config{})
+	if err := s2.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+	var qr queryResponse
+	post(t, ts2.URL+"/v1/query", queryRequest{Source: tcProgram, Predicates: []string{"edge"}}, &qr)
+	if qr.Relations["edge"].Text != "edge{(a, b), (b, c), (c, d)}" {
+		t.Fatalf("base after checkpoint restart: %s", qr.Relations["edge"].Text)
+	}
+	qr = queryResponse{}
+	code := post(t, ts2.URL+"/v1/query", queryRequest{Source: tcProgram, Session: "s1", Predicates: []string{"edge"}}, &qr)
+	if code != 200 || qr.Relations["edge"].Text != "edge{(s, t)}" {
+		t.Fatalf("session after checkpoint restart: status %d rel %s", code, qr.Relations["edge"].Text)
+	}
+}

@@ -12,9 +12,20 @@
 //	POST   /v1/sessions            create a named database snapshot
 //	GET    /v1/sessions            list sessions
 //	DELETE /v1/sessions/{name}     drop a session
-//	POST   /v1/sessions/{name}/facts  derive the next snapshot
+//	POST   /v1/facts               mutate the base database (inserts+deletes)
+//	POST   /v1/sessions/{name}/facts  mutate a session (inserts+deletes)
+//	POST   /v1/sessions/{name}/views  register a live incremental view
+//	GET    /v1/sessions/{name}/views  list a session's live views
 //	GET    /healthz                liveness + drain state
 //	GET    /metrics                Prometheus text exposition
+//
+// Mutations run through Database.Apply (deletes before inserts,
+// whole-batch validation, copy-on-write snapshots) and, when idlogd
+// runs with -wal, are appended to a write-ahead log and fsynced before
+// they are acknowledged; on restart the daemon replays the log over the
+// last checkpoint snapshot. Live views are materialized models kept
+// consistent under mutations by delta/DRed propagation (see
+// internal/incremental), so querying them costs no evaluation.
 //
 // Concurrency model: the compiled *idlog.Program and the frozen
 // *idlog.Database are shared immutably across request goroutines; all
@@ -83,6 +94,11 @@ type queryRequest struct {
 	// request-private copy of the session snapshot.
 	Session string `json:"session,omitempty"`
 	Facts   string `json:"facts,omitempty"`
+	// View names a live view of the session: predicates are served
+	// straight from the incrementally maintained model, with no
+	// evaluation. Requires Session and Predicates; Program, Source,
+	// Goal, and Facts must be absent.
+	View string `json:"view,omitempty"`
 	// Goal is a query body ("tc(a, X), X != b"); bindings come back as
 	// vars/rows. Alternatively Predicates asks for whole relations of
 	// the computed model. Exactly one of the two must be set.
@@ -162,9 +178,60 @@ type sessionRequest struct {
 	Facts string `json:"facts,omitempty"`
 }
 
-// factsRequest extends a session with more facts (next snapshot).
+// factsRequest mutates a database: Inserts and Deletes are ground
+// facts in program syntax ("e(a, b). e(b, c)."). Facts is a legacy
+// alias for Inserts (insert-only loads). Deletes apply before inserts.
+// The budget fields bound the incremental maintenance work on the
+// session's live views.
 type factsRequest struct {
-	Facts string `json:"facts"`
+	Facts   string `json:"facts,omitempty"`
+	Inserts string `json:"inserts,omitempty"`
+	Deletes string `json:"deletes,omitempty"`
+	budgetFields
+}
+
+// viewUpdateJSON reports how one live view absorbed a mutation.
+type viewUpdateJSON struct {
+	Name string `json:"name"`
+	idlog.UpdateStats
+	// Rebuilt marks a view that failed to update incrementally and was
+	// recomputed from scratch; Dropped one whose rebuild also failed and
+	// which was removed.
+	Rebuilt bool   `json:"rebuilt,omitempty"`
+	Dropped bool   `json:"dropped,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// mutateResponse acknowledges a durable mutation. Inserted/Deleted are
+// the effective EDB changes (no-ops excluded); the acknowledgment is
+// sent only after the WAL entry (when a WAL is configured) is fsynced.
+type mutateResponse struct {
+	Session   string           `json:"session,omitempty"`
+	Snapshot  uint64           `json:"snapshot"`
+	Inserted  int              `json:"inserted"`
+	Deleted   int              `json:"deleted"`
+	Views     []viewUpdateJSON `json:"views,omitempty"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+}
+
+// viewRequest registers a live view on a session: the named program (or
+// an inline source) is evaluated over the session's snapshot and then
+// maintained incrementally under every subsequent mutation.
+type viewRequest struct {
+	Name    string  `json:"name"`
+	Program string  `json:"program,omitempty"`
+	Source  string  `json:"source,omitempty"`
+	Seed    *uint64 `json:"seed,omitempty"`
+	budgetFields
+}
+
+// viewInfo describes one live view.
+type viewInfo struct {
+	Name      string            `json:"name"`
+	Program   string            `json:"program"`
+	Relations map[string]int    `json:"relations"`
+	Updates   idlog.UpdateStats `json:"updates"`
+	Rebuilds  uint64            `json:"rebuilds"`
 }
 
 // sessionInfo describes one live session.

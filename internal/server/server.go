@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"idlog"
+	"idlog/internal/wal"
 )
 
 // Config tunes the server. Zero values take the documented defaults.
@@ -46,8 +47,14 @@ type Config struct {
 	// MaxPrograms / MaxSessions bound the registries (default 256 each).
 	MaxPrograms int
 	MaxSessions int
+	// MaxViews bounds the live views per session (default 32).
+	MaxViews int
 	// MaxBodyBytes bounds request bodies (default 4 MiB).
 	MaxBodyBytes int64
+	// WALCheckpointEntries triggers a checkpoint-and-truncate once the
+	// WAL holds this many entries (default 1024; negative disables
+	// automatic checkpoints).
+	WALCheckpointEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,8 +85,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 256
 	}
+	if c.MaxViews <= 0 {
+		c.MaxViews = 32
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20
+	}
+	if c.WALCheckpointEntries == 0 {
+		c.WALCheckpointEntries = 1024
 	}
 	return c
 }
@@ -98,6 +111,15 @@ type Server struct {
 	mux      *http.ServeMux
 	metrics  *metrics
 	sessions *sessionTable
+
+	// base is the unnamed, never-evicted database behind sessionless
+	// queries and POST /v1/facts; wal, when armed, makes every
+	// acknowledged mutation durable. walMu orders mutations
+	// (read-locked around append+swap) against checkpoints
+	// (write-locked).
+	base  *session
+	wal   *wal.Log
+	walMu sync.RWMutex
 
 	programsMu sync.RWMutex
 	programs   map[string]*program
@@ -127,6 +149,9 @@ func New(cfg Config) *Server {
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	base := idlog.NewDatabase()
+	base.Freeze()
+	s.base = newSession("", base)
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/programs", "programs", s.handleProgramCreate)
 	s.route("GET /v1/programs", "programs", s.handleProgramList)
@@ -135,7 +160,10 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/sessions", "sessions", s.handleSessionCreate)
 	s.route("GET /v1/sessions", "sessions", s.handleSessionList)
 	s.route("DELETE /v1/sessions/{name}", "sessions", s.handleSessionDelete)
-	s.route("POST /v1/sessions/{name}/facts", "sessions", s.handleSessionFacts)
+	s.route("POST /v1/facts", "facts", s.handleBaseFacts)
+	s.route("POST /v1/sessions/{name}/facts", "facts", s.handleSessionFacts)
+	s.route("POST /v1/sessions/{name}/views", "views", s.handleViewCreate)
+	s.route("GET /v1/sessions/{name}/views", "views", s.handleViewList)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	s.route("/", "other", func(w http.ResponseWriter, r *http.Request) {
@@ -148,12 +176,16 @@ func New(cfg Config) *Server {
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the session janitor. It does not wait for in-flight
-// requests; use http.Server.Shutdown for that.
+// Close stops the session janitor and closes the WAL, if armed. It
+// does not wait for in-flight requests; use http.Server.Shutdown for
+// that.
 func (s *Server) Close() {
 	s.draining.Store(true)
 	close(s.janitorStop)
 	<-s.janitorDone
+	if s.wal != nil {
+		_ = s.wal.Close()
+	}
 }
 
 // Drain flips the server into draining mode: health checks fail so
@@ -314,8 +346,12 @@ func (s *Server) lookupProgram(name string) (*program, *apiError) {
 func (s *Server) resolveDB(sessionName, facts string) (*idlog.Database, func(), *apiError) {
 	noop := func() {}
 	if sessionName == "" {
-		db := idlog.NewDatabase()
+		// Sessionless requests read the base database — empty until the
+		// first POST /v1/facts (or a -load/-wal preload), so a server
+		// nobody has mutated behaves exactly as before.
+		db := s.base.db.Load()
 		if facts != "" {
+			db = db.Thaw()
 			if err := idlog.AddFactsText(db, facts); err != nil {
 				return nil, nil, fromEngineError(err)
 			}
@@ -387,6 +423,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if e := decode(r, &req); e != nil {
 		writeError(w, e)
+		return
+	}
+	if req.View != "" {
+		s.serveViewQuery(w, &req)
 		return
 	}
 	if (req.Program == "") == (req.Source == "") {
@@ -611,25 +651,6 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
-}
-
-func (s *Server) handleSessionFacts(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	var req factsRequest
-	if e := decode(r, &req); e != nil {
-		writeError(w, e)
-		return
-	}
-	sess, ok := s.sessions.get(name)
-	if !ok {
-		writeError(w, apiErrorf(http.StatusNotFound, "not_found", "session %q not found", name))
-		return
-	}
-	if err := s.sessions.advance(sess, req.Facts); err != nil {
-		writeError(w, fromEngineError(err))
-		return
-	}
-	writeJSON(w, http.StatusOK, sess.info())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

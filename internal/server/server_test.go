@@ -223,10 +223,10 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 
 	// Advance the snapshot with one more edge; generation bumps.
-	si = sessionInfo{}
-	code = post(t, ts.URL+"/v1/sessions/s1/facts", factsRequest{Facts: "edge(d, e)."}, &si)
-	if code != 200 || si.Relations["edge"] != 4 || si.Snapshot != 2 {
-		t.Fatalf("advance: status %d info %+v", code, si)
+	var mr mutateResponse
+	code = post(t, ts.URL+"/v1/sessions/s1/facts", factsRequest{Facts: "edge(d, e)."}, &mr)
+	if code != 200 || mr.Inserted != 1 || mr.Snapshot != 2 {
+		t.Fatalf("advance: status %d resp %+v", code, mr)
 	}
 	qr = queryResponse{}
 	post(t, ts.URL+"/v1/query", queryRequest{Source: tcProgram, Session: "s1", Goal: "tc(a, X)"}, &qr)

@@ -22,6 +22,32 @@ type session struct {
 	snapshot atomic.Uint64 // generation counter, bumps on every swap
 	lastUsed atomic.Int64  // unix nanos of the last touch
 	pins     atomic.Int64  // in-flight requests holding this session
+
+	// mutMu serializes mutations (Apply + WAL append + swap) on this
+	// session; mutations on different sessions proceed concurrently.
+	mutMu sync.Mutex
+	// viewsMu guards views: queries hold it shared while rendering view
+	// relations, mutations hold it exclusively while maintaining them
+	// (a view's relations are updated in place).
+	viewsMu sync.RWMutex
+	views   map[string]*liveView
+}
+
+// liveView is one incrementally maintained model registered on a
+// session. Access is guarded by the owning session's viewsMu.
+type liveView struct {
+	name     string
+	program  string // registered program name, or "(inline)"
+	lv       *idlog.LiveView
+	rebuilds uint64
+}
+
+// getView returns the named view under shared lock.
+func (s *session) getView(name string) (*liveView, bool) {
+	s.viewsMu.RLock()
+	defer s.viewsMu.RUnlock()
+	v, ok := s.views[name]
+	return v, ok
 }
 
 func (s *session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
@@ -60,12 +86,20 @@ func (t *sessionTable) create(name string, db *idlog.Database) (*session, error)
 	if len(t.sessions) >= t.max {
 		return nil, fmt.Errorf("session table full (%d sessions)", t.max)
 	}
-	s := &session{name: name}
+	s := newSession(name, db)
+	t.sessions[name] = s
+	return s, nil
+}
+
+// newSession builds a session around db without registering it (the
+// base database is a session outside the table: unnamed, never
+// evicted).
+func newSession(name string, db *idlog.Database) *session {
+	s := &session{name: name, views: map[string]*liveView{}}
 	s.db.Store(db)
 	s.snapshot.Store(1)
 	s.touch()
-	t.sessions[name] = s
-	return s, nil
+	return s
 }
 
 // get returns the named session, touching it.
@@ -88,23 +122,6 @@ func (t *sessionTable) drop(name string) bool {
 	}
 	delete(t.sessions, name)
 	return true
-}
-
-// advance installs the next snapshot: the current database is thawed,
-// extended with facts, frozen and swapped in. Concurrent advances
-// serialize on the table lock; concurrent readers are unaffected.
-func (t *sessionTable) advance(s *session, facts string) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	next := s.db.Load().Thaw()
-	if err := idlog.AddFactsText(next, facts); err != nil {
-		return err
-	}
-	next.Freeze()
-	s.db.Store(next)
-	s.snapshot.Add(1)
-	s.touch()
-	return nil
 }
 
 // len reports the number of live sessions.

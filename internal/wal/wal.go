@@ -1,0 +1,399 @@
+// Package wal is idlogd's append-only write-ahead log for EDB
+// mutations. Every acknowledged mutation is appended and fsynced
+// BEFORE the in-memory snapshot advances, so a crash loses nothing
+// that was acknowledged; on restart the daemon replays the log over
+// the last checkpoint snapshot.
+//
+// Format (integers are uvarint unless noted):
+//
+//	magic "IDLOGWAL1"
+//	per entry:
+//	  payloadLen
+//	  payload:
+//	    sessionLen, session
+//	    insertCount, then per fact:
+//	      predLen, pred
+//	      arity, then per column: tag 'u' (strLen, str) or 'i' (zigzag)
+//	    deleteCount, facts as above
+//	  crc32 of payload (IEEE, 4 bytes big-endian)
+//
+// The trailing entry of a crashed process may be torn. Open detects
+// that — short length, short payload, or checksum mismatch — and
+// truncates the file back to the last intact entry, mirroring the
+// corruption discipline of internal/storage: a torn entry is dropped
+// whole, never half-applied. Corruption BEFORE the tail (a bad entry
+// followed by readable ones) is not recoverable and fails Open.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"idlog/internal/core"
+	"idlog/internal/guard"
+	"idlog/internal/symbol"
+	"idlog/internal/value"
+)
+
+const magic = "IDLOGWAL1"
+
+// maxStringLen and maxCount bound decoded lengths as corruption guards.
+const (
+	maxStringLen = 1 << 20
+	maxCount     = 1 << 24
+	maxPayload   = 1 << 28
+)
+
+// ErrCorruptWAL reports a log that is not a WAL at all, or whose body
+// (not tail) is damaged. Every such failure wraps it.
+var ErrCorruptWAL = errors.New("corrupt write-ahead log")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("wal: %s: %w", fmt.Sprintf(format, args...), ErrCorruptWAL)
+}
+
+// ErrSimulatedCrash is returned by Append when an injected torn-write
+// fault fires: part of the record reached the file, the process is
+// presumed dead. Crash-recovery tests reopen the log afterwards.
+var ErrSimulatedCrash = errors.New("wal: simulated crash during append")
+
+// Record is one durable mutation batch. Session addresses the idlogd
+// session the batch applied to ("" for the base session).
+type Record struct {
+	Session string
+	Inserts []core.Fact
+	Deletes []core.Fact
+}
+
+// Log is an open write-ahead log. Not safe for concurrent use; idlogd
+// serializes appends behind its mutation lock.
+type Log struct {
+	path    string
+	f       *os.File
+	size    int64
+	entries int
+	fault   *guard.Guard
+}
+
+// Open opens (or creates) the log at path, replays every intact entry,
+// truncates a torn tail, and returns the log positioned for appends
+// together with the replayed records.
+func Open(path string) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l := &Log{path: path, f: f}
+	if st.Size() == 0 {
+		if _, err := f.WriteString(magic); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.size = int64(len(magic))
+		return l, nil, nil
+	}
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+		f.Close()
+		return nil, nil, corruptf("bad magic (not an IDLOG WAL)")
+	}
+	var recs []Record
+	off := len(magic)
+	valid := off
+	for off < len(data) {
+		rec, next, ok := decodeEntry(data, off)
+		if !ok {
+			// Torn tail: drop the partial entry and everything after it
+			// (a crash can only tear the last write; anything beyond it
+			// was never acknowledged).
+			break
+		}
+		recs = append(recs, rec)
+		off = next
+		valid = next
+		l.entries++
+	}
+	if int64(valid) != st.Size() {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l.size = int64(valid)
+	return l, recs, nil
+}
+
+// decodeEntry parses one entry at off; ok is false when the entry is
+// torn or damaged (the caller truncates there).
+func decodeEntry(data []byte, off int) (Record, int, bool) {
+	plen, n := binary.Uvarint(data[off:])
+	if n <= 0 || plen > maxPayload {
+		return Record{}, 0, false
+	}
+	start := off + n
+	end := start + int(plen)
+	if end+4 > len(data) {
+		return Record{}, 0, false
+	}
+	payload := data[start:end]
+	want := binary.BigEndian.Uint32(data[end : end+4])
+	if crc32.ChecksumIEEE(payload) != want {
+		return Record{}, 0, false
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		// The checksum matched but the payload does not parse: that is
+		// body corruption (or a format bug), not a torn tail, yet the
+		// recovery contract is the same — the entry is dropped whole.
+		return Record{}, 0, false
+	}
+	return rec, end + 4, true
+}
+
+type payloadReader struct {
+	b   []byte
+	off int
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		return 0, corruptf("truncated varint")
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) varint() (int64, error) {
+	v, n := binary.Varint(p.b[p.off:])
+	if n <= 0 {
+		return 0, corruptf("truncated varint")
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) str() (string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen || p.off+int(n) > len(p.b) {
+		return "", corruptf("implausible string length %d", n)
+	}
+	s := string(p.b[p.off : p.off+int(n)])
+	p.off += int(n)
+	return s, nil
+}
+
+func (p *payloadReader) byte() (byte, error) {
+	if p.off >= len(p.b) {
+		return 0, corruptf("truncated payload")
+	}
+	b := p.b[p.off]
+	p.off++
+	return b, nil
+}
+
+func (p *payloadReader) facts() ([]core.Fact, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxCount {
+		return nil, corruptf("implausible fact count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	facts := make([]core.Fact, 0, n)
+	for i := uint64(0); i < n; i++ {
+		pred, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		arity, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if arity > 1<<16 {
+			return nil, corruptf("implausible arity %d", arity)
+		}
+		t := make(value.Tuple, arity)
+		for c := uint64(0); c < arity; c++ {
+			tag, err := p.byte()
+			if err != nil {
+				return nil, err
+			}
+			switch tag {
+			case 'i':
+				v, err := p.varint()
+				if err != nil {
+					return nil, err
+				}
+				t[c] = value.Int(v)
+			case 'u':
+				s, err := p.str()
+				if err != nil {
+					return nil, err
+				}
+				t[c] = value.Str(s)
+			default:
+				return nil, corruptf("bad value tag %q", tag)
+			}
+		}
+		facts = append(facts, core.Fact{Pred: pred, Tuple: t})
+	}
+	return facts, nil
+}
+
+func decodePayload(b []byte) (Record, error) {
+	p := &payloadReader{b: b}
+	var rec Record
+	var err error
+	if rec.Session, err = p.str(); err != nil {
+		return rec, err
+	}
+	if rec.Inserts, err = p.facts(); err != nil {
+		return rec, err
+	}
+	if rec.Deletes, err = p.facts(); err != nil {
+		return rec, err
+	}
+	if p.off != len(b) {
+		return rec, corruptf("%d trailing payload bytes", len(b)-p.off)
+	}
+	return rec, nil
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	return append(b, buf[:binary.PutUvarint(buf[:], v)]...)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	return append(b, buf[:binary.PutVarint(buf[:], v)]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFacts(b []byte, facts []core.Fact) []byte {
+	b = appendUvarint(b, uint64(len(facts)))
+	for _, f := range facts {
+		b = appendString(b, f.Pred)
+		b = appendUvarint(b, uint64(len(f.Tuple)))
+		for _, v := range f.Tuple {
+			if v.IsInt() {
+				b = append(b, 'i')
+				b = appendVarint(b, v.Num)
+			} else {
+				b = append(b, 'u')
+				b = appendString(b, symbol.Name(v.Sym))
+			}
+		}
+	}
+	return b
+}
+
+// InjectFault arms guard-driven fault injection (torn appends) on the
+// log. Nil disarms.
+func (l *Log) InjectFault(g *guard.Guard) { l.fault = g }
+
+// Append encodes rec, writes it, and fsyncs before returning: when
+// Append returns nil the record survives any crash. The caller must
+// only acknowledge (and apply) the mutation after Append succeeds.
+func (l *Log) Append(rec Record) error {
+	payload := appendString(nil, rec.Session)
+	payload = appendFacts(payload, rec.Inserts)
+	payload = appendFacts(payload, rec.Deletes)
+	entry := appendUvarint(nil, uint64(len(payload)))
+	entry = append(entry, payload...)
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	entry = append(entry, sum[:]...)
+
+	if l.fault != nil && l.fault.TakeTornWrite() {
+		// Simulated crash: persist only a prefix of the entry, as a real
+		// crash mid-write would, and report the process dead.
+		torn := entry[:len(entry)/2]
+		if _, err := l.f.Write(torn); err != nil {
+			return err
+		}
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.size += int64(len(torn))
+		return ErrSimulatedCrash
+	}
+
+	if _, err := l.f.Write(entry); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.size += int64(len(entry))
+	l.entries++
+	return nil
+}
+
+// Reset truncates the log to empty (just the magic). Called after a
+// checkpoint snapshot has been durably written: the snapshot now covers
+// everything the log held.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(int64(len(magic))); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(int64(len(magic)), io.SeekStart); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.size = int64(len(magic))
+	l.entries = 0
+	return nil
+}
+
+// Size returns the current file size in bytes.
+func (l *Log) Size() int64 { return l.size }
+
+// Entries returns the number of intact entries appended or replayed
+// since open (or the last Reset).
+func (l *Log) Entries() int { return l.entries }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close closes the underlying file.
+func (l *Log) Close() error { return l.f.Close() }

@@ -101,23 +101,12 @@ func (q *QueryResult) Holds() bool { return len(q.Rows) > 0 }
 // AddFactsText parses ground facts in program syntax ("emp(joe, toys).")
 // and adds them to db. Rules and non-ground facts are rejected.
 func AddFactsText(db *Database, src string) error {
-	prog, err := parser.Program(src)
+	facts, err := ParseFacts(src)
 	if err != nil {
-		return guard.WrapErr(guard.ParseError, "facts", err, "")
+		return err
 	}
-	for _, c := range prog.Clauses {
-		if !c.IsFact() {
-			return fmt.Errorf("idlog: facts: %q is not a fact", c)
-		}
-		tuple := make(Tuple, len(c.Head.Args))
-		for i, t := range c.Head.Args {
-			cst, ok := t.(ast.Const)
-			if !ok {
-				return fmt.Errorf("idlog: facts: %q has a non-ground argument", c)
-			}
-			tuple[i] = cst.Val
-		}
-		if err := db.Add(c.Head.Pred, tuple); err != nil {
+	for _, f := range facts {
+		if err := db.Add(f.Pred, f.Tuple); err != nil {
 			return fmt.Errorf("idlog: facts: %w", err)
 		}
 	}
