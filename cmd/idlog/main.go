@@ -20,6 +20,9 @@
 //	-max-derivations n  derivation budget, a work ceiling (0 = none)
 //	-parallel n      evaluate fixpoints on n worker goroutines (answers
 //	                 stay byte-identical to sequential; default 1)
+//	-plan            print the join plans the engine would use and exit
+//	-planner=false   disable the cost-based join planner (bodies run in
+//	                 the analysis safety order; same model, for ablation)
 //	-partial         on a tripped budget/timeout, still print the partial model
 //	-optimize p      print the §4-optimized program w.r.t. p and exit
 //	-show            print the (choice-translated) program before running
@@ -120,6 +123,8 @@ func main() {
 	optimize := flag.String("optimize", "", "print the optimized program w.r.t. this predicate and exit")
 	show := flag.Bool("show", false, "print the evaluated (choice-translated) program")
 	stats := flag.Bool("stats", false, "print evaluation statistics")
+	plan := flag.Bool("plan", false, "print the join plans the engine would use and exit")
+	planner := flag.Bool("planner", true, "enable the cost-based join planner")
 	interactive := flag.Bool("i", false, "start an interactive session (REPL)")
 	walPath := flag.String("wal", "", "durable write-ahead log for the interactive session (with -i)")
 	explain := flag.String("explain", "", "print the derivation tree of a ground atom, e.g. 'tc(a, c)'")
@@ -173,6 +178,7 @@ func main() {
 			maxTuples:      *maxTuples,
 			maxDerivations: *maxDerivations,
 			parallel:       *parallel,
+			noPlanner:      !*planner,
 		}, db, log, preload...)
 		return
 	}
@@ -245,10 +251,22 @@ func main() {
 	if *parallel > 1 {
 		opts = append(opts, idlog.WithParallelism(*parallel))
 	}
+	if !*planner {
+		opts = append(opts, idlog.WithPlanner(false))
+	}
 
 	// Ctrl-C cancels the evaluation at the next guard checkpoint.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *plan {
+		out, err := prog.ExplainPlanContext(ctx, db, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
 
 	if *enumerate {
 		answers, err := prog.EnumerateContext(ctx, db, preds, append(opts, idlog.WithMaxRuns(*maxRuns))...)

@@ -23,6 +23,7 @@ type replLimits struct {
 	maxTuples      int
 	maxDerivations int
 	parallel       int
+	noPlanner      bool
 }
 
 // options renders the limits as engine options.
@@ -39,6 +40,9 @@ func (l replLimits) options() []idlog.Option {
 	}
 	if l.parallel > 1 {
 		opts = append(opts, idlog.WithParallelism(l.parallel))
+	}
+	if l.noPlanner {
+		opts = append(opts, idlog.WithPlanner(false))
 	}
 	return opts
 }
@@ -58,8 +62,12 @@ func (l replLimits) String() string {
 	if l.parallel > 1 {
 		p = strconv.Itoa(l.parallel)
 	}
-	return fmt.Sprintf("limits: timeout=%s, max-tuples=%s, max-derivations=%s, parallel=%s",
-		t, show(l.maxTuples), show(l.maxDerivations), p)
+	pl := "on"
+	if l.noPlanner {
+		pl = "off"
+	}
+	return fmt.Sprintf("limits: timeout=%s, max-tuples=%s, max-derivations=%s, parallel=%s, planner=%s",
+		t, show(l.maxTuples), show(l.maxDerivations), p, pl)
 }
 
 // repl is the interactive session state. Clauses hold the session
@@ -85,10 +93,13 @@ const replHelp = `commands:
   :load FILE                     load clauses/facts from a file
   :seed N                        use the random oracle with seed N
   :sorted                        back to the deterministic oracle
+  :plan body.                    print the join plans a query would use
+                                 (body order, probe columns, estimated rows)
   :limits [KEY VALUE ...]        show or set per-query budgets; keys:
                                  timeout (duration), max-tuples,
                                  max-derivations (0 = off), parallel
-                                 (worker goroutines, 1 = sequential)
+                                 (worker goroutines, 1 = sequential),
+                                 planner (on/off)
   :clear                         drop all session clauses
   :help                          this text
   :quit                          leave
@@ -189,6 +200,14 @@ func (s *repl) command(line string) bool {
 		for _, name := range s.db.Names() {
 			fmt.Fprintln(s.out, s.db.Relation(name))
 		}
+	case ":plan":
+		arg := strings.TrimSpace(line[len(fields[0]):])
+		arg = strings.TrimSpace(strings.TrimPrefix(arg, "?-"))
+		if arg == "" {
+			fmt.Fprintln(s.out, "usage: :plan body, e.g. :plan tc(X, Y)")
+			break
+		}
+		s.planQuery(arg)
 	case ":limits":
 		s.limitsCommand(fields[1:])
 	case ":load":
@@ -253,6 +272,16 @@ func (s *repl) limitsCommand(args []string) {
 				return
 			}
 			next.parallel = n
+		case "planner":
+			switch val {
+			case "on", "true", "1":
+				next.noPlanner = false
+			case "off", "false", "0":
+				next.noPlanner = true
+			default:
+				fmt.Fprintln(s.out, "bad planner (on/off):", val)
+				return
+			}
 		default:
 			fmt.Fprintln(s.out, "unknown limit:", key)
 			return
@@ -325,15 +354,16 @@ func (s *repl) input(text string) {
 	fmt.Fprintln(s.out, "ok")
 }
 
-// query evaluates "?- body." against the session program: a fresh
-// answer predicate collects the bindings of the body's variables.
-func (s *repl) query(body string) {
+// buildQuery wraps "?- body" query text into the session program plus a
+// clause for a fresh answer predicate collecting the bindings of the
+// body's variables, compiled and ready to run.
+func (s *repl) buildQuery(body string) (*idlog.Program, string, []ast.Var, error) {
 	// Parse by wrapping in a throwaway clause head; then rebuild the
 	// head from the body's variables so answers carry the bindings.
+	body = strings.TrimSuffix(strings.TrimSpace(body), ".") + "."
 	wrapped, err := parser.Clause("query_wrapper_head :- " + body)
 	if err != nil {
-		fmt.Fprintln(s.out, "error:", err)
-		return
+		return nil, "", nil, err
 	}
 	ansPred := "ans"
 	for taken := true; taken; {
@@ -354,14 +384,45 @@ func (s *repl) query(body string) {
 		&ast.Clause{Head: head, Body: wrapped.Body})}
 	compiled, err := idlog.FromAST(prog)
 	if err != nil {
-		fmt.Fprintln(s.out, "error:", err)
-		return
+		return nil, "", nil, err
 	}
+	return compiled, ansPred, vars, nil
+}
+
+// options renders the session's per-query engine options.
+func (s *repl) options() []idlog.Option {
 	opts := s.limits.options()
 	if s.random {
 		opts = append(opts, idlog.WithSeed(s.seed))
 	}
-	res, err := compiled.Eval(s.db, opts...)
+	return opts
+}
+
+// planQuery prints the join plans the engine would use for a query —
+// the same wrapped program query() evaluates, rendered by ExplainPlan.
+func (s *repl) planQuery(body string) {
+	compiled, _, _, err := s.buildQuery(body)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	out, err := compiled.ExplainPlan(s.db, s.options()...)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprint(s.out, out)
+}
+
+// query evaluates "?- body." against the session program: a fresh
+// answer predicate collects the bindings of the body's variables.
+func (s *repl) query(body string) {
+	compiled, ansPred, vars, err := s.buildQuery(body)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	res, err := compiled.Eval(s.db, s.options()...)
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
 		return

@@ -296,3 +296,39 @@ func TestREPLWALDurability(t *testing.T) {
 		t.Fatalf("replayed db wrong:\n%s", out2.String())
 	}
 }
+
+func TestREPLPlanCommand(t *testing.T) {
+	out := runSession(t, `
+e(a, b).
+e(b, c).
+tc(X, Y) :- e(X, Y).
+tc(X, Z) :- tc(X, Y), e(Y, Z).
+:plan tc(a, Z).
+:plan
+:limits planner off
+:plan tc(a, Z).
+:limits planner banana
+:quit
+`)
+	if !strings.Contains(out, "plan:") || !strings.Contains(out, "delta tc") {
+		t.Fatalf("plan output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "[scan") && !strings.Contains(out, "[probe") {
+		t.Fatalf("no access paths rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "[delta scan]") {
+		t.Fatalf("delta-first rotation not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "usage: :plan") {
+		t.Fatalf("bare :plan should print usage:\n%s", out)
+	}
+	if !strings.Contains(out, "planner=off") {
+		t.Fatalf(":limits planner off not echoed:\n%s", out)
+	}
+	if !strings.Contains(out, "(planner off: bodies in analysis order") {
+		t.Fatalf("planner-off plan note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "bad planner") {
+		t.Fatalf("planner validation missing:\n%s", out)
+	}
+}

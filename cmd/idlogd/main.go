@@ -31,6 +31,10 @@
 //	                      (together with file.snapshot, if present) on startup
 //	-wal-checkpoint n     checkpoint-and-truncate the WAL every n entries
 //	                      (default 1024; negative disables)
+//	-pprof addr           serve net/http/pprof on a SEPARATE listener at
+//	                      addr (e.g. localhost:6060); empty disables. Kept
+//	                      off the query listener so profiling endpoints
+//	                      are never exposed alongside the public API.
 //
 // SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503 so
 // load balancers stop routing here, new evaluations are refused, and
@@ -45,6 +49,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -61,6 +66,7 @@ import (
 // daemonConfig is the parsed command line.
 type daemonConfig struct {
 	addr         string
+	pprofAddr    string
 	programFiles []string
 	factFiles    []string
 	loadSnap     string
@@ -86,6 +92,7 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs := flag.NewFlagSet("idlogd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fs.StringVar(&dc.addr, "addr", ":8344", "listen address")
+	fs.StringVar(&dc.pprofAddr, "pprof", "", "serve net/http/pprof on a separate listener at this address (empty = off)")
 	var factFiles stringList
 	fs.Var(&factFiles, "facts", "fact file preloaded into the startup session (repeatable)")
 	fs.StringVar(&dc.loadSnap, "load", "", "binary snapshot preloaded into the startup session")
@@ -192,6 +199,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
+
+	if dc.pprofAddr != "" {
+		// pprof gets its own listener and mux so the profiling surface
+		// can be bound to loopback while the API listens publicly.
+		pln, err := net.Listen("tcp", dc.pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "idlogd: pprof:", err)
+			return 1
+		}
+		defer pln.Close()
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() { _ = http.Serve(pln, pmux) }()
+		fmt.Fprintf(stdout, "idlogd: pprof on %s\n", pln.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -27,6 +27,7 @@ func TestProgramName(t *testing.T) {
 func TestParseFlags(t *testing.T) {
 	dc, err := parseFlags([]string{
 		"-addr", "127.0.0.1:0", "-max-concurrent", "3", "-session-ttl", "1m",
+		"-pprof", "127.0.0.1:0",
 		"-facts", "a.facts", "-facts", "b.facts", "p1.idl", "p2.idl",
 	}, os.Stderr)
 	if err != nil {
@@ -34,6 +35,9 @@ func TestParseFlags(t *testing.T) {
 	}
 	if dc.addr != "127.0.0.1:0" || dc.server.MaxConcurrent != 3 || dc.server.SessionTTL != time.Minute {
 		t.Fatalf("parsed config = %+v", dc)
+	}
+	if dc.pprofAddr != "127.0.0.1:0" {
+		t.Fatalf("pprofAddr = %q", dc.pprofAddr)
 	}
 	if len(dc.factFiles) != 2 || len(dc.programFiles) != 2 {
 		t.Fatalf("files = %v / %v", dc.factFiles, dc.programFiles)

@@ -253,6 +253,23 @@ func wrapEnumerateErr(err error) error {
 	return err
 }
 
+// ExplainPlan renders the join plans the engine would use for an
+// evaluation of the program over db under the same options: per stratum
+// and clause, the chosen body order with access paths (scan, probe with
+// columns, delta scan, filter, compute) and estimated cardinalities,
+// plus the delta-first variants of recursive clauses. It evaluates the
+// program once so the rendered cardinality snapshots are exactly the
+// ones the planner sees; the computed model is discarded.
+func (p *Program) ExplainPlan(db *Database, opts ...Option) (string, error) {
+	return p.ExplainPlanContext(context.Background(), db, opts...)
+}
+
+// ExplainPlanContext is ExplainPlan honoring ctx.
+func (p *Program) ExplainPlanContext(ctx context.Context, db *Database, opts ...Option) (string, error) {
+	cfg := buildConfig(ctx, opts)
+	return core.ExplainPlan(p.info, db, cfg.eval)
+}
+
 // Optimize applies the §4 optimization strategy w.r.t. the output
 // predicate q: the RBK88 adornment algorithm identifies ∀-existential
 // arguments, projections are pushed through derived predicates, and

@@ -1,0 +1,37 @@
+package analysis
+
+import "idlog/internal/ast"
+
+// Exported eligibility primitives for the cost-based join planner (which
+// lives in internal/core, where runtime cardinalities are visible). They
+// expose exactly the safety rules orderClause enforces, so any order the
+// planner produces through them is as safe as the analysis order:
+//
+//   - positive relational (ordinary or ID) literals are always eligible;
+//   - interpreted literals require an admissible binding pattern;
+//   - negated literals require every variable bound.
+//
+// Every admissible-pattern set of the arithmetic built-ins is upward
+// closed (binding more arguments never invalidates a pattern), so a
+// greedy planner that picks ANY eligible literal at each step completes
+// whenever orderClause found a safe order at all.
+
+// Eligible reports whether l may be evaluated next given the currently
+// bound variables.
+func Eligible(l *ast.Literal, bound map[string]bool) bool {
+	ok, _ := eligible(l, bound)
+	return ok
+}
+
+// BoundCount returns the number of argument positions of l that are
+// constants or currently-bound variables.
+func BoundCount(l *ast.Literal, bound map[string]bool) int {
+	_, score := eligible(l, bound)
+	return score
+}
+
+// Bind records into bound the variables that evaluating l binds
+// (positive literals bind all their variables; negated ones bind none).
+func Bind(l *ast.Literal, bound map[string]bool) {
+	bindLiteral(l, bound)
+}

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -163,8 +164,18 @@ func GridDB(g int) *core.Database {
 	return db
 }
 
+// noPlannerEnv disables the join planner for every harness evaluation
+// when IDLOG_BENCH_NOPLANNER is set — the ablation baseline for
+// comparing the E1–E14 suite with and without planning. (E15 compares
+// on-vs-off within one run and ignores this knob for its "on" cells
+// only in the sense that setting it collapses both cells to "off".)
+var noPlannerEnv = os.Getenv("IDLOG_BENCH_NOPLANNER") != ""
+
 // evalOnce analyzes-and-evaluates and returns the result.
 func evalOnce(info *analysis.Info, db *core.Database, opts core.Options) *core.Result {
+	if noPlannerEnv {
+		opts.NoPlanner = true
+	}
 	res, err := core.Eval(info, db, opts)
 	if err != nil {
 		panic(err)

@@ -12,37 +12,40 @@ import (
 // scale.
 func TestQuickSuiteRuns(t *testing.T) {
 	suite := Suite{
-		E1Sizes:     [][2]int{{3, 4}},
-		E1Seeds:     5,
-		E2Sizes:     [][2]int{{5, 20}},
-		E3Workloads: [][2]int{{10, 4}},
-		E4Sizes:     [][2]int{{4, 10}},
-		E5Steps:     []int{4},
-		E6Chains:    []int{16},
-		E6Grids:     []int{4},
-		E7Persons:   []int{3},
-		E8Persons:   []int{2},
-		E9Persons:   []int{2},
-		E10Sizes:    []int{5},
-		E10Seeds:    3,
-		E11Reps:     3,
-		E11Chain:    16,
-		E11Grid:     4,
-		E11Emp:      [2]int{3, 6},
-		E13Workers:  []int{1, 2, 4},
-		E13Reps:     2,
-		E13Grid:     4,
-		E13Chain:    16,
-		E13Emp:      [2]int{3, 6},
-		E14Chain:    16,
-		E14Grid:     4,
-		E14Persons:  8,
-		E14Emp:      [2]int{2, 4},
-		E14PGraph:   12,
+		E1Sizes:      [][2]int{{3, 4}},
+		E1Seeds:      5,
+		E2Sizes:      [][2]int{{5, 20}},
+		E3Workloads:  [][2]int{{10, 4}},
+		E4Sizes:      [][2]int{{4, 10}},
+		E5Steps:      []int{4},
+		E6Chains:     []int{16},
+		E6Grids:      []int{4},
+		E7Persons:    []int{3},
+		E8Persons:    []int{2},
+		E9Persons:    []int{2},
+		E10Sizes:     []int{5},
+		E10Seeds:     3,
+		E11Reps:      3,
+		E11Chain:     16,
+		E11Grid:      4,
+		E11Emp:       [2]int{3, 6},
+		E13Workers:   []int{1, 2, 4},
+		E13Reps:      2,
+		E13Grid:      4,
+		E13Chain:     16,
+		E13Emp:       [2]int{3, 6},
+		E14Chain:     16,
+		E14Grid:      4,
+		E14Persons:   8,
+		E14Emp:       [2]int{2, 4},
+		E14PGraph:    12,
+		E15Reps:      2,
+		E15JoinSizes: []int{256},
+		E15Chains:    []int{16},
 	}
 	tables := Run(suite, "all")
-	if len(tables) != 13 {
-		t.Fatalf("ran %d experiments, want 13", len(tables))
+	if len(tables) != 14 {
+		t.Fatalf("ran %d experiments, want 14", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
@@ -60,7 +63,7 @@ func TestQuickSuiteRuns(t *testing.T) {
 			t.Errorf("%s render missing header: %q", tab.ID, out[:60])
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14", "E15"} {
 		if !ids[id] {
 			t.Errorf("experiment %s missing", id)
 		}

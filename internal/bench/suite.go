@@ -57,77 +57,89 @@ type Suite struct {
 	E14Persons int
 	E14Emp     [2]int
 	E14PGraph  int
+	// E15Reps is the timed-runs-per-cell sample for the join-planner
+	// experiment; E15JoinSizes are |big1| scales for the adversarially
+	// ordered join and E15Chains the transitive-closure chain lengths.
+	E15Reps      int
+	E15JoinSizes []int
+	E15Chains    []int
 }
 
 // Quick returns a suite sized to finish in a few seconds.
 func Quick() Suite {
 	return Suite{
-		E1Sizes:     [][2]int{{4, 8}, {8, 16}},
-		E1Seeds:     20,
-		E2Sizes:     [][2]int{{10, 100}, {20, 500}},
-		E3Workloads: [][2]int{{40, 10}, {60, 25}},
-		E4Sizes:     [][2]int{{10, 50}, {20, 200}},
-		E5Steps:     []int{4, 8, 16},
-		E6Chains:    []int{64, 128},
-		E6Grids:     []int{8},
-		E7Persons:   []int{2, 4, 6},
-		E8Persons:   []int{2, 3},
-		E9Persons:   []int{2, 3},
-		E10Sizes:    []int{10, 100},
-		E10Seeds:    10,
-		E11Reps:     7,
-		E11Chain:    128,
-		E11Grid:     8,
-		E11Emp:      [2]int{20, 200},
-		E12Clients:  []int{1, 8, 64},
-		E12Requests: 192,
-		E12Emp:      [2]int{10, 50},
-		E13Workers:  []int{1, 2, 4, 8},
-		E13Reps:     3,
-		E13Grid:     12,
-		E13Chain:    192,
-		E13Emp:      [2]int{20, 500},
-		E14Chain:    256,
-		E14Grid:     12,
-		E14Persons:  200,
-		E14Emp:      [2]int{10, 40},
-		E14PGraph:   300,
+		E1Sizes:      [][2]int{{4, 8}, {8, 16}},
+		E1Seeds:      20,
+		E2Sizes:      [][2]int{{10, 100}, {20, 500}},
+		E3Workloads:  [][2]int{{40, 10}, {60, 25}},
+		E4Sizes:      [][2]int{{10, 50}, {20, 200}},
+		E5Steps:      []int{4, 8, 16},
+		E6Chains:     []int{64, 128},
+		E6Grids:      []int{8},
+		E7Persons:    []int{2, 4, 6},
+		E8Persons:    []int{2, 3},
+		E9Persons:    []int{2, 3},
+		E10Sizes:     []int{10, 100},
+		E10Seeds:     10,
+		E11Reps:      7,
+		E11Chain:     128,
+		E11Grid:      8,
+		E11Emp:       [2]int{20, 200},
+		E12Clients:   []int{1, 8, 64},
+		E12Requests:  192,
+		E12Emp:       [2]int{10, 50},
+		E13Workers:   []int{1, 2, 4, 8},
+		E13Reps:      3,
+		E13Grid:      12,
+		E13Chain:     192,
+		E13Emp:       [2]int{20, 500},
+		E14Chain:     256,
+		E14Grid:      12,
+		E14Persons:   200,
+		E14Emp:       [2]int{10, 40},
+		E14PGraph:    300,
+		E15Reps:      3,
+		E15JoinSizes: []int{4096, 8192, 16384},
+		E15Chains:    []int{64, 128, 256},
 	}
 }
 
 // Full returns the paper-scale suite (tens of seconds).
 func Full() Suite {
 	return Suite{
-		E1Sizes:     [][2]int{{4, 8}, {8, 16}, {16, 32}, {32, 64}},
-		E1Seeds:     50,
-		E2Sizes:     [][2]int{{10, 100}, {20, 500}, {50, 1000}, {100, 2000}},
-		E3Workloads: [][2]int{{40, 10}, {60, 25}, {100, 50}, {150, 80}},
-		E4Sizes:     [][2]int{{10, 50}, {20, 200}, {50, 500}},
-		E5Steps:     []int{4, 8, 16, 32, 64},
-		E6Chains:    []int{64, 128, 256},
-		E6Grids:     []int{8, 12, 16},
-		E7Persons:   []int{2, 4, 6, 8, 10},
-		E8Persons:   []int{2, 3, 4},
-		E9Persons:   []int{2, 3, 4},
-		E10Sizes:    []int{10, 100, 1000, 5000},
-		E10Seeds:    20,
-		E11Reps:     15,
-		E11Chain:    256,
-		E11Grid:     16,
-		E11Emp:      [2]int{50, 1000},
-		E12Clients:  []int{1, 8, 64},
-		E12Requests: 960,
-		E12Emp:      [2]int{20, 200},
-		E13Workers:  []int{1, 2, 4, 8},
-		E13Reps:     7,
-		E13Grid:     20,
-		E13Chain:    512,
-		E13Emp:      [2]int{50, 2000},
-		E14Chain:    512,
-		E14Grid:     16,
-		E14Persons:  1000,
-		E14Emp:      [2]int{20, 100},
-		E14PGraph:   1000,
+		E1Sizes:      [][2]int{{4, 8}, {8, 16}, {16, 32}, {32, 64}},
+		E1Seeds:      50,
+		E2Sizes:      [][2]int{{10, 100}, {20, 500}, {50, 1000}, {100, 2000}},
+		E3Workloads:  [][2]int{{40, 10}, {60, 25}, {100, 50}, {150, 80}},
+		E4Sizes:      [][2]int{{10, 50}, {20, 200}, {50, 500}},
+		E5Steps:      []int{4, 8, 16, 32, 64},
+		E6Chains:     []int{64, 128, 256},
+		E6Grids:      []int{8, 12, 16},
+		E7Persons:    []int{2, 4, 6, 8, 10},
+		E8Persons:    []int{2, 3, 4},
+		E9Persons:    []int{2, 3, 4},
+		E10Sizes:     []int{10, 100, 1000, 5000},
+		E10Seeds:     20,
+		E11Reps:      15,
+		E11Chain:     256,
+		E11Grid:      16,
+		E11Emp:       [2]int{50, 1000},
+		E12Clients:   []int{1, 8, 64},
+		E12Requests:  960,
+		E12Emp:       [2]int{20, 200},
+		E13Workers:   []int{1, 2, 4, 8},
+		E13Reps:      7,
+		E13Grid:      20,
+		E13Chain:     512,
+		E13Emp:       [2]int{50, 2000},
+		E14Chain:     512,
+		E14Grid:      16,
+		E14Persons:   1000,
+		E14Emp:       [2]int{20, 100},
+		E14PGraph:    1000,
+		E15Reps:      7,
+		E15JoinSizes: []int{16384, 32768, 65536},
+		E15Chains:    []int{128, 256, 512},
 	}
 }
 
@@ -157,5 +169,6 @@ func Run(s Suite, only string) []*Table {
 	run("E11", func() *Table { return E11(s.E11Reps, s.E11Chain, s.E11Grid, s.E11Emp[0], s.E11Emp[1]) })
 	run("E13", func() *Table { return E13(s.E13Reps, s.E13Grid, s.E13Chain, s.E13Emp[0], s.E13Emp[1], s.E13Workers) })
 	run("E14", func() *Table { return E14(s.E14Chain, s.E14Grid, s.E14Persons, s.E14Emp, s.E14PGraph) })
+	run("E15", func() *Table { return E15(s.E15Reps, s.E15JoinSizes, s.E15Chains) })
 	return out
 }

@@ -28,6 +28,12 @@ type Options struct {
 	// Costs memory proportional to the model. Trace forces sequential
 	// evaluation (provenance capture is inherently ordered).
 	Trace bool
+	// NoPlanner disables the cost-based join planner: clause bodies are
+	// evaluated in the analysis safety order and semi-naive deltas are
+	// substituted in place instead of rotated to depth 0. The model is
+	// identical either way (the planner only picks among safe orders);
+	// this is the escape hatch and the ablation baseline.
+	NoPlanner bool
 	// Parallelism bounds the worker pool of the semi-naive fixpoint:
 	// each round's work is sharded across up to this many goroutines and
 	// merged through a deterministic ordered reducer, so answer sets and
@@ -172,21 +178,22 @@ func (e *engine) evalStratum(s *analysis.Stratum) error {
 	for _, p := range s.Preds {
 		inStratum[p] = true
 	}
-	var compiled []*compiledClause
-	for _, oc := range s.Clauses {
-		cc, err := compileClause(oc, func(p string) bool { return inStratum[p] })
-		if err != nil {
-			return err
-		}
-		compiled = append(compiled, cc)
+	// Compile the stratum's evaluation plan: with the planner on, bodies
+	// are selectivity-ordered under a cardinality snapshot taken now
+	// (earlier strata are complete, ID-relations just materialized) and
+	// recursive clauses get delta-first variants.
+	card := stratumCard(s, inStratum, e.work, e.idrels)
+	sp, err := compileStratumPlan(s, func(p string) bool { return inStratum[p] }, card, !e.opts.planner())
+	if err != nil {
+		return err
 	}
 	if e.opts.Naive {
-		return e.naiveFixpoint(compiled)
+		return e.naiveFixpoint(sp.all[:sp.nseed])
 	}
 	if e.workers() > 1 && !e.opts.Trace {
-		return e.parallelFixpoint(s, compiled)
+		return e.parallelFixpoint(s, sp)
 	}
-	return e.seminaiveFixpoint(s, compiled)
+	return e.seminaiveFixpoint(s, sp)
 }
 
 // workers resolves the effective parallelism (≥ 1).
@@ -222,10 +229,12 @@ func (e *engine) naiveFixpoint(clauses []*compiledClause) error {
 }
 
 // seminaiveFixpoint performs one naive round to seed the stratum, then
-// iterates only the recursive clauses with delta substitution: each pass
-// evaluates every recursive clause once per recursive body position,
-// with that position reading the previous round's newly derived tuples.
-func (e *engine) seminaiveFixpoint(s *analysis.Stratum, clauses []*compiledClause) error {
+// iterates only the recursive clauses' delta units: each pass evaluates
+// one unit per recursive body position, with the delta position reading
+// the previous round's newly derived tuples (via the planner's
+// delta-first variant clause when available, in place otherwise).
+func (e *engine) seminaiveFixpoint(s *analysis.Stratum, sp *stratumPlan) error {
+	clauses := sp.all[:sp.nseed]
 	e.stats.Iterations++
 	if !s.Recursive {
 		// A non-recursive stratum reaches fixpoint in its seed round:
@@ -246,10 +255,10 @@ func (e *engine) seminaiveFixpoint(s *analysis.Stratum, clauses []*compiledClaus
 			return err
 		}
 	}
-	var recursive []*compiledClause
-	for _, cc := range clauses {
-		if len(cc.recPositions) > 0 {
-			recursive = append(recursive, cc)
+	var recursive []int
+	for ci := range clauses {
+		if len(sp.units[ci]) > 0 {
+			recursive = append(recursive, ci)
 		}
 	}
 	for {
@@ -270,16 +279,17 @@ func (e *engine) seminaiveFixpoint(s *analysis.Stratum, clauses []*compiledClaus
 		for _, p := range s.Preds {
 			next[p] = relation.New(p, e.work[p].Arity())
 		}
-		for _, cc := range recursive {
-			for _, pos := range cc.recPositions {
+		for _, ci := range recursive {
+			for _, u := range sp.units[ci] {
 				// Substitute the delta relation at exactly one recursive
 				// position; other positions read the full relations
 				// (which already include the delta).
-				d := delta[cc.lits[pos].pred]
+				cc := sp.all[u.idx]
+				d := delta[cc.lits[u.pos].pred]
 				if d == nil || d.Len() == 0 {
 					continue
 				}
-				if _, err := e.evalClauseDelta(cc, pos, d, next[cc.headPred], e.work[cc.headPred]); err != nil {
+				if _, err := e.evalClauseDelta(cc, u.pos, d, next[cc.headPred], e.work[cc.headPred]); err != nil {
 					return err
 				}
 			}

@@ -189,7 +189,8 @@ func (w *pWorker) loop(pb *guard.Parallel, tasks []pTask, outs []*pOut, next *at
 // parallelFixpoint is seminaiveFixpoint with each round's evaluation
 // fanned out over the worker pool and its insertions replayed through
 // the deterministic ordered merge.
-func (e *engine) parallelFixpoint(s *analysis.Stratum, clauses []*compiledClause) error {
+func (e *engine) parallelFixpoint(s *analysis.Stratum, sp *stratumPlan) error {
+	clauses := sp.all // seed clauses first, delta-first variants after
 	// Forfeit any outstanding sequential grant: Fork snapshots the
 	// settled count and Join overwrites it, so spending pre-fork slack
 	// afterwards could overshoot the budget.
@@ -335,7 +336,7 @@ func (e *engine) parallelFixpoint(s *analysis.Stratum, clauses []*compiledClause
 		}
 	}
 	var tasks []pTask
-	for ci := range clauses {
+	for ci := 0; ci < sp.nseed; ci++ {
 		tasks = plan(ci, -1, nil, tasks)
 	}
 	if err := finish(tasks, runRound(tasks), delta); err != nil {
@@ -346,8 +347,8 @@ func (e *engine) parallelFixpoint(s *analysis.Stratum, clauses []*compiledClause
 	}
 
 	var recursive []int
-	for ci, cc := range clauses {
-		if len(cc.recPositions) > 0 {
+	for ci := 0; ci < sp.nseed; ci++ {
+		if len(sp.units[ci]) > 0 {
 			recursive = append(recursive, ci)
 		}
 	}
@@ -371,13 +372,13 @@ func (e *engine) parallelFixpoint(s *analysis.Stratum, clauses []*compiledClause
 		}
 		tasks = tasks[:0]
 		for _, ci := range recursive {
-			cc := clauses[ci]
-			for _, pos := range cc.recPositions {
-				d := delta[cc.lits[pos].pred]
+			for _, u := range sp.units[ci] {
+				cc := clauses[u.idx]
+				d := delta[cc.lits[u.pos].pred]
 				if d == nil || d.Len() == 0 {
 					continue
 				}
-				tasks = plan(ci, pos, d, tasks)
+				tasks = plan(u.idx, u.pos, d, tasks)
 			}
 		}
 		if err := finish(tasks, runRound(tasks), next); err != nil {

@@ -68,5 +68,19 @@ func FuzzEval(f *testing.F) {
 				}
 			}
 		}
+		// Planner differential: with the same (nil) oracle, planner-on
+		// and planner-off runs must agree exactly. Budget errors may trip
+		// at different points across join orders — that is the only
+		// allowed asymmetry.
+		offOpts := Options{MaxDerivations: 20000, NoPlanner: true}
+		c, errC := Eval(info, db, offOpts)
+		if errC != nil {
+			return
+		}
+		for p := range info.IDB {
+			if !a.Relation(p).Equal(c.Relation(p)) {
+				t.Fatalf("planner changed predicate %s\nprogram: %s", p, src)
+			}
+		}
 	})
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"idlog/internal/analysis"
+	"idlog/internal/arith"
+	"idlog/internal/ast"
 	"idlog/internal/guard"
 	"idlog/internal/relation"
 	"idlog/internal/value"
@@ -61,33 +63,106 @@ type headBoundClause struct {
 // CompiledStratum holds the incremental evaluation plan for one
 // stratum: the ordinary compiled clauses (shared by overdeletion and
 // insertion propagation, which differ only in resolver and derive
-// hook) and the head-bound variants grouped by head predicate (for
-// rederivation). Plans are stateful (per-literal scratch buffers) and
-// therefore single-threaded; a view serializes its applies.
+// hook), their delta-first variants, and the head-bound variants
+// grouped by head predicate (for rederivation). Plans are stateful
+// (per-literal scratch buffers) and therefore single-threaded; a view
+// serializes its applies.
 type CompiledStratum struct {
 	// Preds are the predicates defined by the stratum, as in
 	// analysis.Stratum.
 	Preds   []string
 	clauses []*compiledClause
-	bound   map[string][]*headBoundClause
+	// variants[i][pos] is the delta-first rotation of clauses[i] for
+	// body position pos: the same clause re-planned with that literal
+	// pinned at depth 0, so a delta pass enumerates the (small) delta
+	// first and probes the rest. Positions without an entry substitute
+	// the delta in place; the planner-off plan has no variants at all.
+	variants []map[int]*compiledClause
+	bound    map[string][]*headBoundClause
+}
+
+// CompileOptions configures CompileStratum.
+type CompileOptions struct {
+	// NoPlanner compiles bodies in the analysis safety order with
+	// in-place delta substitution, mirroring Options.NoPlanner.
+	NoPlanner bool
+	// Rels / IDRels, when set, are the cardinality snapshot for the
+	// planner's selectivity estimates — typically the view's
+	// materialized relations at plan time. Missing entries fall back to
+	// a coarse default.
+	Rels   map[string]*relation.Relation
+	IDRels map[string]*relation.Relation
 }
 
 // CompileStratum builds the incremental plan for stratum si of info.
-func CompileStratum(info *analysis.Info, si int) (*CompiledStratum, error) {
+// With the planner on (see CompileOptions), clause bodies are
+// selectivity-ordered, every positive ordinary body position gets a
+// delta-first variant — incremental deltas arrive for EDB and
+// lower-stratum predicates too, not just same-stratum ones — and
+// rederivation probes are planned with the head variables pre-bound.
+func CompileStratum(info *analysis.Info, si int, copts CompileOptions) (*CompiledStratum, error) {
 	s := info.Strata[si]
 	in := map[string]bool{}
 	for _, p := range s.Preds {
 		in[p] = true
 	}
 	inStratum := func(p string) bool { return in[p] }
+	// The empty inStratum set makes stratumCard read every predicate's
+	// exact current size: unlike at engine time, the view's own stratum
+	// relations are already materialized here.
+	card := stratumCard(s, map[string]bool{}, copts.Rels, copts.IDRels)
 	cs := &CompiledStratum{Preds: s.Preds, bound: map[string][]*headBoundClause{}}
 	for _, oc := range s.Clauses {
-		cc, err := compileClause(oc, inStratum)
+		soc := oc
+		if !copts.NoPlanner {
+			if body := planBody(oc.Clause.Body, -1, card); body != nil {
+				soc = reordered(oc, body, oc.Clause.Body)
+			}
+		}
+		cc, err := compileClause(soc, inStratum)
 		if err != nil {
 			return nil, err
 		}
 		cs.clauses = append(cs.clauses, cc)
-		hb, seed, err := compileClauseHeadBound(oc, inStratum)
+		var vm map[int]*compiledClause
+		if !copts.NoPlanner {
+			body := soc.Clause.Body
+			for pos, l := range body {
+				if l.Neg || l.Atom.IsID || arith.IsBuiltin(l.Atom.Pred) {
+					continue
+				}
+				vbody := planBody(body, pos, card)
+				if vbody == nil {
+					continue
+				}
+				voc := reordered(soc, vbody, body)
+				if voc == soc {
+					continue // delta literal already leads; substitute in place
+				}
+				vcc, err := compileClause(voc, inStratum)
+				if err != nil {
+					return nil, err
+				}
+				if vm == nil {
+					vm = map[int]*compiledClause{}
+				}
+				vm[pos] = vcc
+			}
+		}
+		cs.variants = append(cs.variants, vm)
+		hoc := soc
+		if !copts.NoPlanner {
+			pre := map[string]bool{}
+			for _, t := range oc.Clause.Head.Args {
+				if v, ok := t.(ast.Var); ok {
+					pre[v.Name] = true
+				}
+			}
+			if body := planBodyBound(soc.Clause.Body, pre, -1, card); body != nil {
+				hoc = reordered(soc, body, soc.Clause.Body)
+			}
+		}
+		hb, seed, err := compileClauseHeadBound(hoc, inStratum)
 		if err != nil {
 			return nil, err
 		}
@@ -102,10 +177,14 @@ func CompileStratum(info *analysis.Info, si int) (*CompiledStratum, error) {
 // enumeration).
 var errStop = errors.New("stop walk")
 
-// deltaPositions yields every positive, ordinary (non-ID, non-builtin)
-// body position of cc whose predicate has a non-empty delta, calling f
-// with the position and the delta relation.
-func deltaPositions(cc *compiledClause, deltas map[string]*relation.Relation, f func(pos int, d *relation.Relation) error) error {
+// deltaUnits yields the delta work of clause i: for every positive,
+// ordinary (non-ID, non-builtin) body position whose predicate has a
+// non-empty delta, f receives the clause to run, the delta literal's
+// position within it, and the delta relation. Positions with a
+// delta-first variant dispatch that variant (delta at depth 0); the
+// rest substitute into the base clause in place.
+func (cs *CompiledStratum) deltaUnits(i int, deltas map[string]*relation.Relation, f func(cc *compiledClause, pos int, d *relation.Relation) error) error {
+	cc := cs.clauses[i]
 	for pos := range cc.lits {
 		cl := &cc.lits[pos]
 		if cl.neg || cl.isID || cl.builtin != nil {
@@ -115,7 +194,13 @@ func deltaPositions(cc *compiledClause, deltas map[string]*relation.Relation, f 
 		if d == nil || d.Len() == 0 {
 			continue
 		}
-		if err := f(pos, d); err != nil {
+		if v := cs.variants[i][pos]; v != nil {
+			if err := f(v, 0, d); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := f(cc, pos, d); err != nil {
 			return err
 		}
 	}
@@ -169,8 +254,7 @@ func (cs *CompiledStratum) Overdelete(st *IncrState, dels map[string]*relation.R
 			}
 		}
 		next := map[string]*relation.Relation{}
-		for _, cc := range cs.clauses {
-			cc := cc
+		for ci := range cs.clauses {
 			rn := runner{resolve: resolveOld, stats: st.Stats}
 			rn.derive = func(dcc *compiledClause, _ []value.Value, head value.Tuple) error {
 				if st.governed() {
@@ -200,7 +284,7 @@ func (cs *CompiledStratum) Overdelete(st *IncrState, dels map[string]*relation.R
 				nd.MustInsert(stored)
 				return nil
 			}
-			err := deltaPositions(cc, cur, func(pos int, d *relation.Relation) error {
+			err := cs.deltaUnits(ci, cur, func(cc *compiledClause, pos int, d *relation.Relation) error {
 				return rn.run(cc, pos, d, 0, -1)
 			})
 			if err != nil {
@@ -314,8 +398,7 @@ func (cs *CompiledStratum) Propagate(st *IncrState, ins map[string]*relation.Rel
 			}
 		}
 		next := map[string]*relation.Relation{}
-		for _, cc := range cs.clauses {
-			cc := cc
+		for ci := range cs.clauses {
 			rn := runner{resolve: st.resolveCur, stats: st.Stats}
 			rn.derive = func(dcc *compiledClause, _ []value.Value, head value.Tuple) error {
 				if st.governed() {
@@ -349,7 +432,7 @@ func (cs *CompiledStratum) Propagate(st *IncrState, ins map[string]*relation.Rel
 				nd.MustInsert(stored)
 				return nil
 			}
-			err := deltaPositions(cc, cur, func(pos int, d *relation.Relation) error {
+			err := cs.deltaUnits(ci, cur, func(cc *compiledClause, pos int, d *relation.Relation) error {
 				return rn.run(cc, pos, d, 0, -1)
 			})
 			if err != nil {

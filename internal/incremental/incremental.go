@@ -171,7 +171,13 @@ func (v *View) EvalStats() core.Stats { return v.stats }
 
 func (v *View) plan(si int) (*core.CompiledStratum, error) {
 	if v.plans[si] == nil {
-		cs, err := core.CompileStratum(v.info, si)
+		// Plans compile lazily, so the materialized relations are a live
+		// cardinality snapshot for the join planner.
+		cs, err := core.CompileStratum(v.info, si, core.CompileOptions{
+			NoPlanner: !v.opts.PlannerEnabled(),
+			Rels:      v.rels,
+			IDRels:    v.idrels,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -1,42 +1,97 @@
 package relation
 
 import (
-	"fmt"
-	"strings"
-
 	"idlog/internal/value"
 )
 
-// secondary is a hash index over a subset of columns, mapping the encoded
-// projection onto those columns to the positions of matching tuples.
+// secondary is a hash index over a subset of columns, mapping the 64-bit
+// hash of the projection onto those columns to the positions of matching
+// tuples. Buckets carry a representative projection and chain on genuine
+// hash collisions, so probes never confuse distinct keys; probe keys are
+// hashed in place (ProjectHash) with no marshaling or allocation.
 type secondary struct {
 	cols    []int
-	buckets map[string][]int
-	scratch []byte
+	buckets map[uint64]*ibucket
+}
+
+// ibucket holds the positions of the tuples sharing one projection. key
+// is an owned representative copy of that projection; next chains
+// buckets whose distinct projections share a 64-bit hash.
+type ibucket struct {
+	key       value.Tuple
+	positions []int
+	next      *ibucket
+}
+
+// matches reports whether t's projection onto cols equals the bucket key.
+func (b *ibucket) matches(t value.Tuple, cols []int) bool {
+	for i, c := range cols {
+		if !t[c].Equal(b.key[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func (ix *secondary) add(t value.Tuple, pos int) {
-	ix.scratch = ix.scratch[:0]
-	for _, c := range ix.cols {
-		ix.scratch = value.AppendValueKey(ix.scratch, t[c])
+	h := t.ProjectHash(ix.cols)
+	head := ix.buckets[h]
+	for b := head; b != nil; b = b.next {
+		if b.matches(t, ix.cols) {
+			b.positions = append(b.positions, pos)
+			return
+		}
+		secondaryHashCollisions.Add(1)
 	}
-	bucket, ok := ix.buckets[string(ix.scratch)]
-	if !ok {
-		ix.buckets[string(ix.scratch)] = []int{pos}
-		return
-	}
-	ix.buckets[string(ix.scratch)] = append(bucket, pos)
+	ix.buckets[h] = &ibucket{key: t.Project(ix.cols), positions: []int{pos}, next: head}
 }
 
-func colsSig(cols []int) string {
-	var b strings.Builder
-	for i, c := range cols {
-		if i > 0 {
-			b.WriteByte(',')
+// remove deletes tuple position pos (holding tuple t) from the index,
+// unlinking the bucket if it empties.
+func (ix *secondary) remove(t value.Tuple, pos int) {
+	h := t.ProjectHash(ix.cols)
+	var prev *ibucket
+	for b := ix.buckets[h]; b != nil; prev, b = b, b.next {
+		if !b.matches(t, ix.cols) {
+			continue
 		}
-		fmt.Fprintf(&b, "%d", c)
+		for i, p := range b.positions {
+			if p == pos {
+				b.positions = append(b.positions[:i], b.positions[i+1:]...)
+				break
+			}
+		}
+		if len(b.positions) == 0 {
+			if prev == nil {
+				if b.next == nil {
+					delete(ix.buckets, h)
+				} else {
+					ix.buckets[h] = b.next
+				}
+			} else {
+				prev.next = b.next
+			}
+		}
+		return
 	}
-	return b.String()
+}
+
+// update re-points tuple t's entry from oldPos to newPos after a
+// swap-remove moved it.
+func (ix *secondary) update(t value.Tuple, oldPos, newPos int) {
+	h := t.ProjectHash(ix.cols)
+	for b := ix.buckets[h]; b != nil; b = b.next {
+		if !b.matches(t, ix.cols) {
+			continue
+		}
+		for i, p := range b.positions {
+			if p == oldPos {
+				b.positions[i] = newPos
+				return
+			}
+		}
+		return
+	}
 }
 
 func sameCols(a, b []int) bool {
@@ -57,7 +112,8 @@ func sameCols(a, b []int) bool {
 // scan over the few indexes, no allocation on the hot probe path); a
 // miss builds the index under buildMu and publishes a fresh copy of
 // the list, never mutating a slice another goroutine may be scanning.
-// Published indexes are maintained by store() on every later insert.
+// Published indexes are maintained by store() on every later insert and
+// patched by Remove on every deletion.
 func (r *Relation) ensureIndex(cols []int) *secondary {
 	if cur := r.shared.Load(); cur != nil {
 		for _, ix := range *cur {
@@ -87,7 +143,7 @@ func (r *Relation) ensureIndex(cols []int) *secondary {
 
 // buildIndex scans the relation once and constructs the index on cols.
 func (r *Relation) buildIndex(cols []int) *secondary {
-	ix := &secondary{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
+	ix := &secondary{cols: append([]int(nil), cols...), buckets: make(map[uint64]*ibucket)}
 	for pos, t := range r.tuples {
 		ix.add(t, pos)
 	}
@@ -96,7 +152,7 @@ func (r *Relation) buildIndex(cols []int) *secondary {
 
 // Probe returns the positions of the tuples whose projection onto cols
 // equals key (a tuple of len(cols) values). An index on cols is built on
-// first use and maintained by subsequent inserts.
+// first use and maintained by subsequent inserts and removals.
 func (r *Relation) Probe(cols []int, key value.Tuple) []int {
 	if len(cols) == 0 {
 		// Degenerate probe: every tuple matches.
@@ -107,9 +163,12 @@ func (r *Relation) Probe(cols []int, key value.Tuple) []int {
 		return all
 	}
 	ix := r.ensureIndex(cols)
-	var buf [keyBufSize]byte
-	k := key.AppendKey(buf[:0])
-	return ix.buckets[string(k)]
+	for b := ix.buckets[key.Hash()]; b != nil; b = b.next {
+		if key.Equal(b.key) {
+			return b.positions
+		}
+	}
+	return nil
 }
 
 // ProbeTuples is Probe but materializes the matching tuples.

@@ -2,9 +2,23 @@ package relation
 
 import (
 	"fmt"
+	"strings"
 
 	"idlog/internal/value"
 )
+
+// colsSig renders a column list as a stable signature string; part of
+// oracle group keys, so its format must not change across releases.
+func colsSig(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
 
 // An Oracle chooses ID-functions (§2.1): for every sub-relation it yields
 // a permutation assigning tuple-identifiers 0..n-1 to the group's members.

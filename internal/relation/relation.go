@@ -34,31 +34,27 @@ import (
 // (workers probe) with a single-threaded merge phase (coordinator
 // inserts), with the phase barrier providing the happens-before edge.
 type Relation struct {
-	name    string
-	arity   int
-	tuples  []value.Tuple
-	primary map[string]int // tuple key -> position in tuples
+	name   string
+	arity  int
+	tuples []value.Tuple
+	// primary maps 64-bit tuple hashes to positions in tuples (open
+	// addressing, Tuple.Equal on hash hits), replacing the former
+	// map[string]int over marshaled keys: no per-operation key bytes.
+	primary table
 
 	// frozen (set before sharing by Freeze) rejects further inserts.
 	// Secondary indexes are published through shared: written only
 	// under buildMu, read with a single atomic load on the probe hot
-	// path, and kept current by store() on every insert.
+	// path, and kept current by store() on every insert and Remove on
+	// every deletion.
 	frozen  bool
 	buildMu sync.Mutex
 	shared  atomic.Pointer[[]*secondary]
 }
 
-// keyBufSize fits tuples of arity ≤ 7 on the stack (9 bytes/value);
-// longer keys spill to the heap transparently.
-const keyBufSize = 64
-
 // New returns an empty relation with the given name and arity.
 func New(name string, arity int) *Relation {
-	return &Relation{
-		name:    name,
-		arity:   arity,
-		primary: make(map[string]int),
-	}
+	return &Relation{name: name, arity: arity}
 }
 
 // FromTuples builds a relation containing the given tuples (duplicates
@@ -91,12 +87,11 @@ func (r *Relation) Insert(t value.Tuple) (bool, error) {
 	if len(t) != r.arity {
 		return false, fmt.Errorf("relation %s: inserting arity-%d tuple into arity-%d relation", r.name, len(t), r.arity)
 	}
-	var buf [keyBufSize]byte
-	key := t.AppendKey(buf[:0])
-	if _, ok := r.primary[string(key)]; ok {
+	h := t.Hash()
+	if r.primary.lookup(r.tuples, t, h) >= 0 {
 		return false, nil
 	}
-	r.store(string(key), t)
+	r.store(h, t)
 	return true, nil
 }
 
@@ -111,20 +106,19 @@ func (r *Relation) InsertShared(t value.Tuple) (value.Tuple, error) {
 	if len(t) != r.arity {
 		return nil, fmt.Errorf("relation %s: inserting arity-%d tuple into arity-%d relation", r.name, len(t), r.arity)
 	}
-	var buf [keyBufSize]byte
-	key := t.AppendKey(buf[:0])
-	if _, ok := r.primary[string(key)]; ok {
+	h := t.Hash()
+	if r.primary.lookup(r.tuples, t, h) >= 0 {
 		return nil, nil
 	}
 	c := t.Clone()
-	r.store(string(key), c)
+	r.store(h, c)
 	return c, nil
 }
 
-func (r *Relation) store(key string, t value.Tuple) {
+func (r *Relation) store(h uint64, t value.Tuple) {
 	pos := len(r.tuples)
 	r.tuples = append(r.tuples, t)
-	r.primary[key] = pos
+	r.primary.insert(h, pos)
 	// Maintain every published secondary index so probes issued after
 	// this insert see the new tuple (insert → probe → insert → probe).
 	if idxs := r.shared.Load(); idxs != nil {
@@ -139,9 +133,10 @@ func (r *Relation) store(key string, t value.Tuple) {
 // position, so insertion order is perturbed. That is safe for the
 // engine because every order-sensitive consumer (oracles, Fingerprint,
 // Sorted, Equal) works from canonical or set semantics, never from
-// insertion order. Published secondary indexes hold tuple positions,
-// which go stale under swap-remove, so Remove drops them; the next
-// probe rebuilds lazily. Frozen relations reject Remove.
+// insertion order. Published secondary indexes are patched in place —
+// only the removed tuple's entry and the moved tuple's position change —
+// so incremental churn keeps its indexes instead of rebuilding them per
+// mutation. Frozen relations reject Remove.
 func (r *Relation) Remove(t value.Tuple) (bool, error) {
 	if r.frozen {
 		return false, fmt.Errorf("relation %s: remove from frozen relation", r.name)
@@ -149,28 +144,29 @@ func (r *Relation) Remove(t value.Tuple) (bool, error) {
 	if len(t) != r.arity {
 		return false, fmt.Errorf("relation %s: removing arity-%d tuple from arity-%d relation", r.name, len(t), r.arity)
 	}
-	var buf [keyBufSize]byte
-	key := t.AppendKey(buf[:0])
-	pos, ok := r.primary[string(key)]
-	if !ok {
+	h := t.Hash()
+	pos := r.primary.lookup(r.tuples, t, h)
+	if pos < 0 {
 		return false, nil
 	}
+	removed := r.tuples[pos]
 	last := len(r.tuples) - 1
+	r.primary.remove(h, pos)
+	var moved value.Tuple
 	if pos != last {
-		moved := r.tuples[last]
+		moved = r.tuples[last]
 		r.tuples[pos] = moved
-		var mbuf [keyBufSize]byte
-		r.primary[string(moved.AppendKey(mbuf[:0]))] = pos
+		r.primary.updatePos(moved.Hash(), last, pos)
 	}
 	r.tuples[last] = nil
 	r.tuples = r.tuples[:last]
-	delete(r.primary, string(key))
-	// Position-based secondary indexes are now stale; unpublish them all
-	// and let probes rebuild on demand.
-	if r.shared.Load() != nil {
-		r.buildMu.Lock()
-		r.shared.Store(nil)
-		r.buildMu.Unlock()
+	if idxs := r.shared.Load(); idxs != nil {
+		for _, idx := range *idxs {
+			idx.remove(removed, pos)
+			if moved != nil {
+				idx.update(moved, last, pos)
+			}
+		}
 	}
 	return true, nil
 }
@@ -189,10 +185,7 @@ func (r *Relation) Contains(t value.Tuple) bool {
 	if len(t) != r.arity {
 		return false
 	}
-	var buf [keyBufSize]byte
-	key := t.AppendKey(buf[:0])
-	_, ok := r.primary[string(key)]
-	return ok
+	return r.primary.lookup(r.tuples, t, t.Hash()) >= 0
 }
 
 // Tuples returns the underlying tuple slice in insertion order. The
@@ -215,9 +208,7 @@ func (r *Relation) Sorted() []value.Tuple {
 func (r *Relation) Clone() *Relation {
 	c := New(r.name, r.arity)
 	c.tuples = append(c.tuples, r.tuples...)
-	for k, v := range r.primary {
-		c.primary[k] = v
-	}
+	c.primary = r.primary.clone()
 	return c
 }
 
@@ -233,8 +224,8 @@ func (r *Relation) Equal(s *Relation) bool {
 	if r.arity != s.arity || len(r.tuples) != len(s.tuples) {
 		return false
 	}
-	for key := range r.primary {
-		if _, ok := s.primary[key]; !ok {
+	for _, t := range r.tuples {
+		if s.primary.lookup(s.tuples, t, t.Hash()) < 0 {
 			return false
 		}
 	}
@@ -300,21 +291,27 @@ func (r *Relation) String() string {
 }
 
 // Fingerprint returns a canonical string identifying the tuple set,
-// independent of insertion order. Two relations have equal fingerprints
-// iff they are set-equal. Used to deduplicate enumerated answers.
+// independent of insertion order: the hex rendering of a combine over
+// the sorted 64-bit tuple hashes, seeded with the cardinality (so an
+// empty relation differs from a 0-arity relation containing the empty
+// tuple). Set-equal relations have equal fingerprints; unequal sets
+// collide only with the ~2^-64 probability of the underlying hash. Used
+// to deduplicate enumerated answers.
 func (r *Relation) Fingerprint() string {
-	keys := make([]string, 0, len(r.primary))
-	for k := range r.primary {
-		// Quote so that an empty relation ("") differs from a 0-arity
-		// relation containing the empty tuple (`""`).
-		keys = append(keys, strconv.Quote(k))
+	hs := make([]uint64, len(r.tuples))
+	for i, t := range r.tuples {
+		hs[i] = t.Hash()
 	}
-	sort.Strings(keys)
-	return strings.Join(keys, ",")
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	h := value.SetHashSeed(len(hs))
+	for _, x := range hs {
+		h = value.CombineHash(h, x)
+	}
+	return strconv.FormatUint(h, 16)
 }
 
 // DeepClone rebuilds the relation from scratch: unlike Clone, the
-// result shares no internal state (indexes, key table) with r, so it is
+// result shares no internal state (indexes, hash table) with r, so it is
 // safe to hand to another goroutine. (An unfrozen Relation is not safe
 // for concurrent use because secondary indexes build lazily on first
 // probe; Freeze is the cheaper alternative when the relation no longer

@@ -55,7 +55,8 @@ func TestRemoveLastAndReinsert(t *testing.T) {
 }
 
 // TestRemoveInvalidatesIndexes checks that probes after a removal never
-// see stale positions: a published index is dropped and rebuilt.
+// see stale positions: published indexes are patched in place for the
+// removed tuple and the tuple moved by swap-remove.
 func TestRemoveInvalidatesIndexes(t *testing.T) {
 	r := New("e", 2)
 	for i := 0; i < 50; i++ {

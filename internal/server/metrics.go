@@ -7,6 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"idlog/internal/core"
+	"idlog/internal/relation"
 )
 
 // metrics is idlogd's observability state. Everything on the request
@@ -190,6 +193,13 @@ func (m *metrics) render(b *strings.Builder, gauges map[string]float64) {
 	counter("idlogd_wal_appends_total", "Mutation records appended to the write-ahead log.", m.walAppends.Load())
 	counter("idlogd_wal_checkpoints_total", "Checkpoint-and-truncate cycles completed.", m.walCheckpoints.Load())
 	counter("idlogd_wal_checkpoint_errors_total", "Checkpoint attempts that failed (retried on the next mutation).", m.walCheckpointErrors.Load())
+
+	// Process-global engine counters (not per-server): join-planner
+	// activity and tuple-store hash-collision health.
+	counter("idlogd_plan_reorders_total", "Clause bodies the cost-based join planner reordered away from the analysis order.", core.PlanReordersTotal())
+	primCol, secCol := relation.CollisionCounts()
+	counter("idlogd_tuple_store_primary_collisions_total", "64-bit hash collisions observed in relation primary tables.", primCol)
+	counter("idlogd_tuple_store_secondary_collisions_total", "64-bit hash collisions observed in secondary index buckets.", secCol)
 
 	type prow struct {
 		pred            string

@@ -449,6 +449,9 @@ func TestMetricsExposition(t *testing.T) {
 		"idlogd_tuples_total",
 		"idlogd_uptime_seconds",
 		"idlogd_worker_slots",
+		"idlogd_plan_reorders_total",
+		"idlogd_tuple_store_primary_collisions_total",
+		"idlogd_tuple_store_secondary_collisions_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)

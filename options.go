@@ -90,6 +90,18 @@ func WithParallelism(n int) Option {
 	return func(c *config) { c.eval.Parallelism = n }
 }
 
+// WithPlanner enables (the default) or disables the cost-based join
+// planner: with it on, clause bodies are reordered by estimated
+// selectivity at each stratum's start and semi-naive delta passes
+// enumerate the delta literal first. The computed model is identical
+// either way — the planner only picks among safety-equivalent orders —
+// so WithPlanner(false) is the performance-ablation and escape hatch.
+// Tracing (WithTrace) also disables the planner, keeping derivation
+// trees independent of relation cardinalities.
+func WithPlanner(on bool) Option {
+	return func(c *config) { c.eval.NoPlanner = !on }
+}
+
 // WithMaxRuns bounds the number of evaluation runs Enumerate may
 // perform (default 100000).
 func WithMaxRuns(n int) Option {
