@@ -320,7 +320,7 @@ func (s *repl) mutate(src string, retract bool) {
 		return
 	}
 	if s.wal != nil {
-		if err := s.wal.Append(wal.Record{Inserts: inserts, Deletes: deletes}); err != nil {
+		if _, err := s.wal.Append(wal.Record{Inserts: inserts, Deletes: deletes}); err != nil {
 			fmt.Fprintln(s.out, "error: wal append:", err)
 			return
 		}

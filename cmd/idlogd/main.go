@@ -31,15 +31,30 @@
 //	                      (together with file.snapshot, if present) on startup
 //	-wal-checkpoint n     checkpoint-and-truncate the WAL every n entries
 //	                      (default 1024; negative disables)
+//	-follow url           run as a hot standby of the primary at url:
+//	                      mutations are refused (403 read_only), state is
+//	                      replicated over /v1/replication/stream, and
+//	                      /readyz reflects catch-up. Pair with -wal so the
+//	                      standby resumes from its position after restart.
+//	-replica-lease d      max stream silence before the primary counts as
+//	                      stalled: readiness drops and the follower
+//	                      reconnects (default 10s)
+//	-replica-max-lag n    readiness bound: more than n entries behind the
+//	                      primary reports not ready (default 1024)
+//	-chaos spec           arm a fault injection point (repeatable), e.g.
+//	                      "wal.append.sync:after=100,err=EIO" or
+//	                      "repl.stream.send:count=3". For fault drills and
+//	                      the chaos harness; never set in production.
 //	-pprof addr           serve net/http/pprof on a SEPARATE listener at
 //	                      addr (e.g. localhost:6060); empty disables. Kept
 //	                      off the query listener so profiling endpoints
 //	                      are never exposed alongside the public API.
 //
-// SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503 so
-// load balancers stop routing here, new evaluations are refused, and
-// in-flight requests get -drain-timeout to finish before the listener
-// closes.
+// SIGINT/SIGTERM triggers a graceful drain: /readyz flips to 503 so
+// load balancers stop routing here (liveness at /healthz stays 200),
+// new evaluations are refused, replication streams end with a
+// resumable end-of-stream frame, and in-flight requests get
+// -drain-timeout to finish before the listener closes.
 package main
 
 import (
@@ -59,6 +74,8 @@ import (
 	"time"
 
 	"idlog"
+	"idlog/internal/fault"
+	"idlog/internal/replica"
 	"idlog/internal/server"
 	"idlog/internal/storage"
 )
@@ -73,6 +90,9 @@ type daemonConfig struct {
 	sessionName  string
 	walPath      string
 	drainTimeout time.Duration
+	follow       string
+	replicaLease time.Duration
+	replicaLag   uint64
 	server       server.Config
 }
 
@@ -109,8 +129,30 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.StringVar(&dc.walPath, "wal", "", "write-ahead log for durable mutations (replayed on startup)")
 	fs.IntVar(&dc.server.WALCheckpointEntries, "wal-checkpoint", 1024, "checkpoint-and-truncate the WAL every n entries (negative disables)")
 	fs.DurationVar(&dc.drainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	fs.StringVar(&dc.follow, "follow", "", "run as a read-only hot standby of the primary at this URL")
+	fs.DurationVar(&dc.replicaLease, "replica-lease", 10*time.Second, "max stream silence before the primary counts as stalled")
+	fs.Uint64Var(&dc.replicaLag, "replica-max-lag", 1024, "readiness bound on entries behind the primary")
+	var chaosSpecs stringList
+	fs.Var(&chaosSpecs, "chaos", "arm a fault injection point, e.g. \"wal.append.sync:after=100,err=EIO\" (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if len(chaosSpecs) > 0 {
+		reg := fault.New()
+		for _, spec := range chaosSpecs {
+			name, f, err := fault.ParseSpec(spec)
+			if err != nil {
+				fmt.Fprintln(stderr, "idlogd:", err)
+				return nil, err
+			}
+			reg.Arm(name, f)
+		}
+		dc.server.Faults = reg
+	}
+	if dc.follow != "" {
+		// A standby never takes writes of its own: every mutation it
+		// holds must have come from the primary's LSN stream.
+		dc.server.ReadOnly = true
 	}
 	dc.factFiles = factFiles
 	dc.programFiles = fs.Args()
@@ -219,6 +261,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "idlogd: pprof on %s\n", pln.Addr())
 	}
 
+	var fol *replica.Follower
+	if dc.follow != "" {
+		fol = replica.New(s, replica.Config{
+			Primary: dc.follow,
+			Lease:   dc.replicaLease,
+			MaxLag:  dc.replicaLag,
+			Faults:  dc.server.Faults,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, "idlogd: replica: "+format+"\n", args...)
+			},
+		})
+		fol.Start()
+		fmt.Fprintf(stdout, "idlogd: following %s\n", dc.follow)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan struct{})
@@ -226,6 +283,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer close(done)
 		<-ctx.Done()
 		fmt.Fprintln(stderr, "idlogd: draining")
+		if fol != nil {
+			fol.Stop()
+		}
 		s.Drain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), dc.drainTimeout)
 		defer cancel()

@@ -39,6 +39,16 @@ type metrics struct {
 	walAppends          atomic.Uint64
 	walCheckpoints      atomic.Uint64
 	walCheckpointErrors atomic.Uint64
+	walDegradedEvents   atomic.Uint64
+
+	// Replication counters: records applied on a follower, records
+	// shipped out of a primary's stream, snapshots served, wholesale
+	// resyncs performed, and the live stream gauge.
+	replApplied   atomic.Uint64
+	replShipped   atomic.Uint64
+	replSnapshots atomic.Uint64
+	replResyncs   atomic.Uint64
+	replStreams   atomic.Int64
 
 	// predicates maps predicate name -> *predStats.
 	predicates sync.Map
@@ -70,7 +80,7 @@ type endpointMetrics struct {
 
 // endpointNames is the fixed instrumentation universe; requests
 // outside it (404 paths) land on "other".
-var endpointNames = []string{"programs", "query", "sample", "sessions", "facts", "views", "healthz", "metrics", "other"}
+var endpointNames = []string{"programs", "query", "sample", "sessions", "facts", "views", "replication", "healthz", "readyz", "metrics", "other"}
 
 func newMetrics() *metrics {
 	m := &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpointNames))}
@@ -193,6 +203,11 @@ func (m *metrics) render(b *strings.Builder, gauges map[string]float64) {
 	counter("idlogd_wal_appends_total", "Mutation records appended to the write-ahead log.", m.walAppends.Load())
 	counter("idlogd_wal_checkpoints_total", "Checkpoint-and-truncate cycles completed.", m.walCheckpoints.Load())
 	counter("idlogd_wal_checkpoint_errors_total", "Checkpoint attempts that failed (retried on the next mutation).", m.walCheckpointErrors.Load())
+	counter("idlogd_wal_degraded_events_total", "Times the WAL flipped into degraded (read-only) mode.", m.walDegradedEvents.Load())
+	counter("idlogd_replication_applied_total", "Replicated records applied by this server as a follower.", m.replApplied.Load())
+	counter("idlogd_replication_shipped_total", "Records shipped to followers over replication streams.", m.replShipped.Load())
+	counter("idlogd_replication_snapshots_total", "Snapshot bootstraps served to followers.", m.replSnapshots.Load())
+	counter("idlogd_replication_resyncs_total", "Wholesale snapshot resyncs performed by this server as a follower.", m.replResyncs.Load())
 
 	// Process-global engine counters (not per-server): join-planner
 	// activity and tuple-store hash-collision health.

@@ -54,7 +54,53 @@ func (s *Server) OpenWAL(path string) error {
 		l.Close()
 		return err
 	}
+	l.SetFaults(s.cfg.Faults)
 	s.SetWAL(l)
+	s.repl.init(l.BaseLSN(), recs)
+	return nil
+}
+
+// ErrWALDegraded marks a server whose WAL refused an append (fsync
+// failure, disk full): it can no longer back acknowledgments with
+// durability, so it acknowledges nothing — mutations get 503 until the
+// operator repairs storage and restarts.
+var ErrWALDegraded = errors.New("wal degraded: mutations refused until restart")
+
+// degradeWAL flips the server into degraded (read-only) mode after a
+// WAL append failure. The flip is sticky: a log that failed one fsync
+// may hold torn state, and only a reopen (restart) re-validates it.
+func (s *Server) degradeWAL(err error) {
+	msg := err.Error()
+	s.walDegradedMsg.Store(&msg)
+	if !s.walDegraded.Swap(true) {
+		s.metrics.walDegradedEvents.Add(1)
+	}
+}
+
+// degradedError is the uniform 503 for mutations refused in degraded
+// mode; Retry-After tells well-behaved clients to back off.
+func degradedError(err error) *apiError {
+	e := apiErrorf(http.StatusServiceUnavailable, "wal_degraded",
+		"%v: %v", ErrWALDegraded, err)
+	e.retryAfter = 5
+	return e
+}
+
+// mutable reports whether this server may accept client mutations:
+// followers are read-only by configuration, degraded primaries by
+// storage failure.
+func (s *Server) mutable() *apiError {
+	if s.cfg.ReadOnly {
+		return apiErrorf(http.StatusForbidden, "read_only",
+			"server is a read-only replica; mutate the primary")
+	}
+	if s.walDegraded.Load() {
+		msg := "wal append failed"
+		if m := s.walDegradedMsg.Load(); m != nil {
+			msg = *m
+		}
+		return degradedError(errors.New(msg))
+	}
 	return nil
 }
 
@@ -115,13 +161,17 @@ func (s *Server) applyMutation(sess *session, inserts, deletes []idlog.Fact, bud
 
 	// Durability before visibility: fsync the WAL entry, then swap. The
 	// read-lock spans both so a checkpoint (write-lock) sees either
-	// neither or both of {WAL entry, snapshot}.
+	// neither or both of {WAL entry, snapshot}. A failed append is NEVER
+	// acknowledged: the snapshot is discarded, the server flips degraded
+	// (sticky read-only), and the client gets a typed 503 — an ack the
+	// log cannot back would be a durability lie.
 	s.walMu.RLock()
+	if _, err := s.logAndPublish(wal.Record{Session: sess.name, Inserts: inserts, Deletes: deletes}); err != nil {
+		s.walMu.RUnlock()
+		s.degradeWAL(err)
+		return nil, degradedError(err)
+	}
 	if s.wal != nil {
-		if err := s.wal.Append(wal.Record{Session: sess.name, Inserts: inserts, Deletes: deletes}); err != nil {
-			s.walMu.RUnlock()
-			return nil, apiErrorf(http.StatusInternalServerError, "internal", "wal append: %v", err)
-		}
 		s.metrics.walAppends.Add(1)
 	}
 	sess.db.Store(next)
@@ -201,10 +251,18 @@ func (s *Server) maybeCheckpoint() {
 
 // Checkpoint makes the WAL short again without losing durability: the
 // base snapshot is durably written to <wal>.snapshot (write-to-temp,
-// rename), the log is truncated, and every live session's current facts
-// are re-appended as one consolidated entry each. On restart the
-// snapshot plus the truncated log reproduce exactly the pre-checkpoint
-// state.
+// rename), and the log is atomically REWRITTEN (temp + fsync + rename)
+// to hold one consolidated entry per live session. The rewrite replaces
+// the old truncate-then-reappend sequence, which had a crash window
+// between the truncate and the re-appends where acknowledged session
+// facts existed nowhere durable. On restart the snapshot plus the
+// rewritten log reproduce exactly the pre-checkpoint state.
+//
+// The new log starts at the pre-checkpoint last LSN, so consolidation
+// entries get fresh, larger LSNs and the replication tail stays
+// monotonic; followers mid-stream are told to resync (their position
+// predates the rewritten tail), and the consolidation entries they then
+// apply are idempotent re-inserts.
 func (s *Server) Checkpoint() error {
 	if s.wal == nil {
 		return nil
@@ -214,23 +272,47 @@ func (s *Server) Checkpoint() error {
 	if err := idlog.SaveSnapshot(s.wal.Path()+".snapshot", s.base.db.Load()); err != nil {
 		return fmt.Errorf("checkpoint: snapshot: %w", err)
 	}
-	if err := s.wal.Reset(); err != nil {
-		return fmt.Errorf("checkpoint: truncate: %w", err)
-	}
+	var recs []wal.Record
 	for _, sess := range s.sessions.list() {
 		db := sess.db.Load()
 		var facts []idlog.Fact
-		for _, name := range db.Names() {
-			for _, t := range db.Relation(name).Tuples() {
+		names := db.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			for _, t := range db.Relation(name).Sorted() {
 				facts = append(facts, idlog.Fact{Pred: name, Tuple: t})
 			}
 		}
-		if len(facts) == 0 {
-			continue
+		// A factless session still gets a record: its existence must
+		// survive the rewrite, or a restart would lose the session.
+		recs = append(recs, wal.Record{Session: sess.name, Inserts: facts})
+	}
+	last := s.wal.LastLSN()
+	if _, replLast := s.repl.positions(); replLast > last {
+		last = replLast
+	}
+	if s.cfg.ReadOnly {
+		// Follower: the primary owns the LSN space, so a local
+		// checkpoint must NOT mint LSNs above the applied position —
+		// they would overtake the primary and make the follower skip
+		// real entries after a restart. Rebase the consolidation BELOW
+		// the position instead: entries get (last-k, last], the log's
+		// last LSN stays equal to the applied position, and restart
+		// replay recovers both state and position exactly.
+		k := uint64(len(recs))
+		if k > last {
+			return nil // degenerate; keep the log as is
 		}
-		if err := s.wal.Append(wal.Record{Session: sess.name, Inserts: facts}); err != nil {
-			return fmt.Errorf("checkpoint: consolidate session %q: %w", sess.name, err)
+		if _, err := s.wal.ResetWith(last-k, recs); err != nil {
+			return fmt.Errorf("checkpoint: rewrite log: %w", err)
 		}
+		s.repl.reset(last, nil)
+	} else {
+		out, err := s.wal.ResetWith(last, recs)
+		if err != nil {
+			return fmt.Errorf("checkpoint: rewrite log: %w", err)
+		}
+		s.repl.reset(last, out)
 	}
 	s.metrics.walCheckpoints.Add(1)
 	return nil
@@ -297,8 +379,13 @@ func (s *Server) handleSessionFacts(w http.ResponseWriter, r *http.Request) {
 }
 
 // mutateAndRespond is the shared tail of the two facts endpoints:
-// parse, budget, admit, apply, respond.
+// parse, budget, admit, apply, respond. Followers (ReadOnly) and
+// degraded primaries refuse up front.
 func (s *Server) mutateAndRespond(w http.ResponseWriter, r *http.Request, sess *session, req *factsRequest) {
+	if e := s.mutable(); e != nil {
+		writeError(w, e)
+		return
+	}
 	ins, dels, e := parseMutation(req)
 	if e != nil {
 		writeError(w, e)

@@ -1,12 +1,17 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"idlog"
+	"idlog/internal/fault"
 	"idlog/internal/guard"
 	"idlog/internal/wal"
 )
@@ -180,16 +185,31 @@ func TestWALCrashRecovery(t *testing.T) {
 	if code := post(t, ts1.URL+"/v1/facts", factsRequest{Inserts: "edge(b, c)."}, nil); code != 200 {
 		t.Fatalf("second mutation: status %d", code)
 	}
-	// The third mutation crashes mid-append: 500, no acknowledgment,
-	// and the in-memory snapshot must NOT advance past the WAL.
+	// The third mutation crashes mid-append: a typed 503 with
+	// Retry-After, no acknowledgment, and the in-memory snapshot must
+	// NOT advance past the WAL.
 	var eb errorBody
-	if code := post(t, ts1.URL+"/v1/facts", factsRequest{Inserts: "edge(c, d)."}, &eb); code != 500 {
+	if code := post(t, ts1.URL+"/v1/facts", factsRequest{Inserts: "edge(c, d)."}, &eb); code != 503 || eb.Error.Code != "wal_degraded" {
 		t.Fatalf("torn mutation: status %d body %+v", code, eb)
 	}
 	var qr queryResponse
 	post(t, ts1.URL+"/v1/query", queryRequest{Source: tcProgram, Predicates: []string{"edge"}}, &qr)
 	if qr.Relations["edge"].Text != "edge{(a, b), (b, c)}" {
 		t.Fatalf("unacknowledged mutation applied: %s", qr.Relations["edge"].Text)
+	}
+	// Degraded mode is sticky: the next mutation is refused up front
+	// (503, same code) even though the fault fired only once, and reads
+	// keep serving.
+	eb = errorBody{}
+	if code := post(t, ts1.URL+"/v1/facts", factsRequest{Inserts: "edge(d, e)."}, &eb); code != 503 || eb.Error.Code != "wal_degraded" {
+		t.Fatalf("post-degrade mutation: status %d body %+v", code, eb)
+	}
+	if !s1.walDegraded.Load() {
+		t.Fatal("server not marked degraded after WAL append failure")
+	}
+	var rz map[string]any
+	if code := get(t, ts1.URL+"/readyz", &rz); code != 503 || rz["reason"] != "wal_degraded" {
+		t.Fatalf("readyz while degraded: %d %+v", code, rz)
 	}
 	ts1.Close()
 	s1.Close()
@@ -267,5 +287,76 @@ func TestWALCheckpoint(t *testing.T) {
 	code := post(t, ts2.URL+"/v1/query", queryRequest{Source: tcProgram, Session: "s1", Predicates: []string{"edge"}}, &qr)
 	if code != 200 || qr.Relations["edge"].Text != "edge{(s, t)}" {
 		t.Fatalf("session after checkpoint restart: status %d rel %s", code, qr.Relations["edge"].Text)
+	}
+}
+
+// TestWALFsyncErrorDegrades is the fsyncgate regression: an fsync error
+// on append is a durability failure, so the mutation is NOT
+// acknowledged, the server flips sticky read-only (503 + Retry-After on
+// every further mutation), and readiness drops — while reads keep
+// serving. After a restart, every acknowledged mutation is present; the
+// un-acknowledged one may or may not survive (the entry bytes reached
+// the file, the fsync promise did not), and either outcome is legal.
+func TestWALFsyncErrorDegrades(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "idlogd.wal")
+	reg := fault.New()
+	s1 := New(Config{Faults: reg})
+	if err := s1.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	if code := post(t, ts1.URL+"/v1/facts", factsRequest{Inserts: "edge(a, b)."}, nil); code != 200 {
+		t.Fatalf("first mutation: status %d", code)
+	}
+	reg.Arm(fault.WALAppendSync, fault.Fault{Err: errors.New("fsync: disk I/O error")})
+
+	var eb errorBody
+	req, _ := json.Marshal(factsRequest{Inserts: "edge(b, c)."})
+	resp, err := http.Post(ts1.URL+"/v1/facts", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != 503 || eb.Error.Code != "wal_degraded" {
+		t.Fatalf("fsync-failed mutation: status %d body %+v", resp.StatusCode, eb)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 carries no Retry-After")
+	}
+	// The failed mutation must not be visible.
+	var qr queryResponse
+	post(t, ts1.URL+"/v1/query", queryRequest{Source: tcProgram, Predicates: []string{"edge"}}, &qr)
+	if qr.Relations["edge"].Text != "edge{(a, b)}" {
+		t.Fatalf("un-acked mutation visible: %s", qr.Relations["edge"].Text)
+	}
+	// Sticky: disarming the fault does not un-degrade a poisoned log.
+	reg.DisarmAll()
+	eb = errorBody{}
+	if code := post(t, ts1.URL+"/v1/facts", factsRequest{Inserts: "edge(c, d)."}, &eb); code != 503 || eb.Error.Code != "wal_degraded" {
+		t.Fatalf("mutation after disarm: status %d body %+v", code, eb)
+	}
+	var rz map[string]any
+	if code := get(t, ts1.URL+"/readyz", &rz); code != 503 || rz["reason"] != "wal_degraded" {
+		t.Fatalf("readyz while degraded: %d %+v", code, rz)
+	}
+	ts1.Close()
+	s1.Close()
+
+	// Restart re-validates the log: the acknowledged mutation is there.
+	s2 := New(Config{})
+	if err := s2.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+	qr = queryResponse{}
+	post(t, ts2.URL+"/v1/query", queryRequest{Source: tcProgram, Predicates: []string{"edge"}}, &qr)
+	if !strings.Contains(qr.Relations["edge"].Text, "(a, b)") {
+		t.Fatalf("acknowledged mutation lost after restart: %s", qr.Relations["edge"].Text)
+	}
+	if code := post(t, ts2.URL+"/v1/facts", factsRequest{Inserts: "edge(x, y)."}, nil); code != 200 {
+		t.Fatalf("mutation after restart: status %d", code)
 	}
 }

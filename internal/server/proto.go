@@ -256,12 +256,15 @@ type errorBody struct {
 }
 
 // apiError pairs an HTTP status with a typed error envelope.
+// retryAfter, when nonzero, becomes a Retry-After header (seconds) —
+// degraded-mode 503s use it to tell clients to back off.
 type apiError struct {
-	status  int
-	code    string
-	op      string
-	message string
-	partial *queryResponse
+	status     int
+	code       string
+	op         string
+	message    string
+	retryAfter int
+	partial    *queryResponse
 }
 
 func (e *apiError) Error() string { return fmt.Sprintf("%d %s: %s", e.status, e.code, e.message) }
@@ -308,6 +311,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError writes the uniform error envelope.
 func writeError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", e.retryAfter))
+	}
 	var body errorBody
 	body.Error.Code = e.code
 	body.Error.Op = e.op

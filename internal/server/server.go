@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"idlog"
+	"idlog/internal/fault"
 	"idlog/internal/wal"
 )
 
@@ -55,6 +56,23 @@ type Config struct {
 	// WAL holds this many entries (default 1024; negative disables
 	// automatic checkpoints).
 	WALCheckpointEntries int
+	// ReadOnly refuses all client mutations (403): the follower mode of
+	// a hot standby, whose state changes arrive only via replication.
+	ReadOnly bool
+	// ReplHeartbeat is the heartbeat cadence on replication streams
+	// (default 3s). Followers treat a stream silent past their lease as
+	// a stalled primary.
+	ReplHeartbeat time.Duration
+	// MaxReplLogEntries bounds the in-memory replication tail (default
+	// 8192). Followers that fall behind the trimmed range catch up via
+	// snapshot+replay.
+	MaxReplLogEntries int
+	// PrimaryID overrides the random replication incarnation id
+	// (tests).
+	PrimaryID string
+	// Faults, when set, arms chaos fault injection on the replication
+	// send path (see internal/fault). Nil means no injection.
+	Faults *fault.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +112,12 @@ func (c Config) withDefaults() Config {
 	if c.WALCheckpointEntries == 0 {
 		c.WALCheckpointEntries = 1024
 	}
+	if c.ReplHeartbeat <= 0 {
+		c.ReplHeartbeat = 3 * time.Second
+	}
+	if c.MaxReplLogEntries <= 0 {
+		c.MaxReplLogEntries = 8192
+	}
 	return c
 }
 
@@ -115,11 +139,20 @@ type Server struct {
 	// base is the unnamed, never-evicted database behind sessionless
 	// queries and POST /v1/facts; wal, when armed, makes every
 	// acknowledged mutation durable. walMu orders mutations
-	// (read-locked around append+swap) against checkpoints
-	// (write-locked).
+	// (read-locked around append+swap) against checkpoints and
+	// replication snapshots (write-locked).
 	base  *session
 	wal   *wal.Log
 	walMu sync.RWMutex
+
+	// repl is the replication tail (LSN assignment, stream fan-out);
+	// walDegraded flips once a WAL append fails — from then on the
+	// server is read-only and mutations get 503 + Retry-After rather
+	// than acknowledgments durability cannot back.
+	repl           *replState
+	walDegraded    atomic.Bool
+	walDegradedMsg atomic.Pointer[string]
+	followerProbe  atomic.Pointer[func() FollowerStatus]
 
 	programsMu sync.RWMutex
 	programs   map[string]*program
@@ -128,6 +161,11 @@ type Server struct {
 	queued   atomic.Int64
 	inflight atomic.Int64
 	draining atomic.Bool
+	// drainCh closes when the server starts draining: long-lived
+	// replication streams end with a resumable EOS frame instead of
+	// hanging the HTTP shutdown.
+	drainCh   chan struct{}
+	drainOnce sync.Once
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -146,6 +184,8 @@ func New(cfg Config) *Server {
 		sessions:    newSessionTable(cfg.MaxSessions),
 		programs:    map[string]*program{},
 		slots:       make(chan struct{}, cfg.MaxConcurrent),
+		repl:        newReplState(cfg.PrimaryID, cfg.MaxReplLogEntries),
+		drainCh:     make(chan struct{}),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
@@ -164,7 +204,11 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/sessions/{name}/facts", "facts", s.handleSessionFacts)
 	s.route("POST /v1/sessions/{name}/views", "views", s.handleViewCreate)
 	s.route("GET /v1/sessions/{name}/views", "views", s.handleViewList)
+	s.route("GET /v1/replication/status", "replication", s.handleReplStatus)
+	s.route("GET /v1/replication/snapshot", "replication", s.handleReplSnapshot)
+	s.route("GET /v1/replication/stream", "replication", s.handleReplStream)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /readyz", "readyz", s.handleReadyz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	s.route("/", "other", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErrorf(http.StatusNotFound, "not_found", "no route for %s %s", r.Method, r.URL.Path))
@@ -180,7 +224,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // does not wait for in-flight requests; use http.Server.Shutdown for
 // that.
 func (s *Server) Close() {
-	s.draining.Store(true)
+	s.Drain()
 	close(s.janitorStop)
 	<-s.janitorDone
 	if s.wal != nil {
@@ -188,10 +232,14 @@ func (s *Server) Close() {
 	}
 }
 
-// Drain flips the server into draining mode: health checks fail so
-// load balancers stop routing here, and new evaluations are refused
-// with 503 while in-flight ones finish.
-func (s *Server) Drain() { s.draining.Store(true) }
+// Drain flips the server into draining mode: readiness fails so load
+// balancers stop routing here, new evaluations are refused with 503
+// while in-flight ones finish, and open replication streams terminate
+// with a clean EOS frame carrying a resumable LSN.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
 
 // RegisterProgram compiles and registers src under name (used by
 // cmd/idlogd to preload programs before listening).
@@ -262,6 +310,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streaming handlers
+// (replication) can push frames through the instrumentation wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // route registers an instrumented handler: inflight gauge, request
@@ -611,6 +667,10 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if e := s.mutable(); e != nil {
+		writeError(w, e)
+		return
+	}
 	var req sessionRequest
 	if e := decode(r, &req); e != nil {
 		writeError(w, e)
@@ -620,17 +680,42 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErrorf(http.StatusBadRequest, "invalid_argument", "name is required"))
 		return
 	}
-	db := idlog.NewDatabase()
+	var ins []idlog.Fact
 	if req.Facts != "" {
-		if err := idlog.AddFactsText(db, req.Facts); err != nil {
+		fs, err := idlog.ParseFacts(req.Facts)
+		if err != nil {
 			writeError(w, fromEngineError(err))
 			return
 		}
+		ins = fs
 	}
-	sess, err := s.sessions.create(req.Name, db)
+	sess, err := s.sessions.create(req.Name, idlog.NewDatabase())
 	if err != nil {
 		writeError(w, apiErrorf(http.StatusConflict, "already_exists", "%v", err))
 		return
+	}
+	// Initial facts run through the durable mutation path — previously
+	// they went straight into the session database, so they were neither
+	// in the WAL (lost on restart) nor published to followers.
+	if len(ins) > 0 {
+		if _, e := s.applyMutation(sess, ins, nil, budget{}); e != nil {
+			s.sessions.drop(req.Name)
+			writeError(w, e)
+			return
+		}
+	} else {
+		// An empty create still writes a (factless) record: without it
+		// the session's existence would vanish on restart and followers
+		// would never learn the session exists.
+		s.walMu.RLock()
+		_, err := s.logAndPublish(wal.Record{Session: req.Name})
+		s.walMu.RUnlock()
+		if err != nil {
+			s.sessions.drop(req.Name)
+			s.degradeWAL(err)
+			writeError(w, degradedError(err))
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, sess.info())
 }
@@ -645,6 +730,10 @@ func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if e := s.mutable(); e != nil {
+		writeError(w, e)
+		return
+	}
 	name := r.PathValue("name")
 	if !s.sessions.drop(name) {
 		writeError(w, apiErrorf(http.StatusNotFound, "not_found", "session %q not found", name))
@@ -653,17 +742,19 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// It stays 200 while draining or degraded — restarting a process that
+// is alive but not ready only makes things worse. Routability belongs
+// to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	code := http.StatusOK
 	if s.draining.Load() {
 		status = "draining"
-		code = http.StatusServiceUnavailable
 	}
 	s.programsMu.RLock()
 	nprogs := len(s.programs)
 	s.programsMu.RUnlock()
-	writeJSON(w, code, map[string]any{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   status,
 		"uptime_s": time.Since(s.metrics.start).Seconds(),
 		"inflight": s.inflight.Load(),
@@ -673,15 +764,72 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is readiness: should traffic be routed here? 503 while
+// draining, while the WAL is degraded (writes would be refused), or —
+// on a follower — while replication is disconnected, the lease is
+// stale, or the applied LSN lags the primary beyond the bound.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type notReady struct {
+		reason string
+		detail map[string]any
+	}
+	var nr *notReady
+	switch {
+	case s.draining.Load():
+		nr = &notReady{reason: "draining"}
+	case s.walDegraded.Load():
+		detail := map[string]any{}
+		if msg := s.walDegradedMsg.Load(); msg != nil {
+			detail["wal_error"] = *msg
+		}
+		nr = &notReady{reason: "wal_degraded", detail: detail}
+	default:
+		if p := s.followerProbe.Load(); p != nil {
+			st := (*p)()
+			if !st.Ready {
+				nr = &notReady{reason: st.Reason, detail: map[string]any{
+					"applied_lsn": st.AppliedLSN,
+					"primary_lsn": st.PrimaryLSN,
+					"lag_entries": st.LagEntries,
+				}}
+			}
+		}
+	}
+	if nr == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		return
+	}
+	body := map[string]any{"status": "not_ready", "reason": nr.reason}
+	for k, v := range nr.detail {
+		body[k] = v
+	}
+	writeJSON(w, http.StatusServiceUnavailable, body)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	s.metrics.render(&b, map[string]float64{
-		"idlogd_inflight_requests": float64(s.inflight.Load()),
-		"idlogd_queued_requests":   float64(s.queued.Load()),
-		"idlogd_sessions_active":   float64(s.sessions.len()),
-		"idlogd_worker_slots":      float64(s.cfg.MaxConcurrent),
-		"idlogd_max_parallelism":   float64(s.cfg.MaxParallelism),
-	})
+	gauges := map[string]float64{
+		"idlogd_inflight_requests":   float64(s.inflight.Load()),
+		"idlogd_queued_requests":     float64(s.queued.Load()),
+		"idlogd_sessions_active":     float64(s.sessions.len()),
+		"idlogd_worker_slots":        float64(s.cfg.MaxConcurrent),
+		"idlogd_max_parallelism":     float64(s.cfg.MaxParallelism),
+		"idlogd_replication_streams": float64(s.metrics.replStreams.Load()),
+	}
+	if s.walDegraded.Load() {
+		gauges["idlogd_wal_degraded"] = 1
+	} else {
+		gauges["idlogd_wal_degraded"] = 0
+	}
+	if st, ok := s.followerStatus(); ok {
+		gauges["idlogd_replication_lag_entries"] = float64(st.LagEntries)
+		if st.Ready {
+			gauges["idlogd_replication_ready"] = 1
+		} else {
+			gauges["idlogd_replication_ready"] = 0
+		}
+	}
+	s.metrics.render(&b, gauges)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
 }

@@ -209,7 +209,9 @@ func TestSessionLifecycle(t *testing.T) {
 	if code := post(t, ts.URL+"/v1/sessions", sessionRequest{Name: "s1", Facts: tcFacts}, &si); code != 200 {
 		t.Fatalf("create session: status %d", code)
 	}
-	if si.Relations["edge"] != 3 || si.Snapshot != 1 {
+	// Initial facts arrive as a durable mutation now, so creation with
+	// facts lands on snapshot generation 2 (create, then apply).
+	if si.Relations["edge"] != 3 || si.Snapshot != 2 {
 		t.Fatalf("session info = %+v", si)
 	}
 
@@ -225,7 +227,7 @@ func TestSessionLifecycle(t *testing.T) {
 	// Advance the snapshot with one more edge; generation bumps.
 	var mr mutateResponse
 	code = post(t, ts.URL+"/v1/sessions/s1/facts", factsRequest{Facts: "edge(d, e)."}, &mr)
-	if code != 200 || mr.Inserted != 1 || mr.Snapshot != 2 {
+	if code != 200 || mr.Inserted != 1 || mr.Snapshot != 3 {
 		t.Fatalf("advance: status %d resp %+v", code, mr)
 	}
 	qr = queryResponse{}
@@ -412,9 +414,18 @@ func TestHealthzAndDrain(t *testing.T) {
 	if code := get(t, ts.URL+"/healthz", &hz); code != 200 || hz["status"] != "ok" {
 		t.Fatalf("healthz: %d %+v", code, hz)
 	}
+	if code := get(t, ts.URL+"/readyz", &hz); code != 200 || hz["status"] != "ready" {
+		t.Fatalf("readyz: %d %+v", code, hz)
+	}
 	s.Drain()
-	if code := get(t, ts.URL+"/healthz", &hz); code != 503 || hz["status"] != "draining" {
+	// Liveness stays up while draining (the process is alive and
+	// finishing in-flight work); readiness flips to 503 so load
+	// balancers stop routing here.
+	if code := get(t, ts.URL+"/healthz", &hz); code != 200 || hz["status"] != "draining" {
 		t.Fatalf("healthz draining: %d %+v", code, hz)
+	}
+	if code := get(t, ts.URL+"/readyz", &hz); code != 503 || hz["reason"] != "draining" {
+		t.Fatalf("readyz draining: %d %+v", code, hz)
 	}
 	var eb errorBody
 	if code := post(t, ts.URL+"/v1/query", queryRequest{

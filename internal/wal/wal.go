@@ -2,14 +2,19 @@
 // mutations. Every acknowledged mutation is appended and fsynced
 // BEFORE the in-memory snapshot advances, so a crash loses nothing
 // that was acknowledged; on restart the daemon replays the log over
-// the last checkpoint snapshot.
+// the last checkpoint snapshot. Entries carry log sequence numbers
+// (LSNs) that order every mutation globally, which is what hot-standby
+// replication ships to followers (see stream.go for the wire framing).
 //
-// Format (integers are uvarint unless noted):
+// Format v2 (integers are uvarint unless noted):
 //
-//	magic "IDLOGWAL1"
+//	magic "IDLOGWAL2"
+//	baseLSN (LSN as of the checkpoint snapshot the log sits on; 0 on a
+//	         fresh log)
 //	per entry:
 //	  payloadLen
 //	  payload:
+//	    lsn (strictly increasing, first > baseLSN)
 //	    sessionLen, session
 //	    insertCount, then per fact:
 //	      predLen, pred
@@ -17,12 +22,24 @@
 //	    deleteCount, facts as above
 //	  crc32 of payload (IEEE, 4 bytes big-endian)
 //
+// v1 logs ("IDLOGWAL1", no LSNs) are migrated in place on Open:
+// entries are assigned LSNs 1..n and the file is atomically rewritten
+// in v2 format.
+//
 // The trailing entry of a crashed process may be torn. Open detects
 // that — short length, short payload, or checksum mismatch — and
 // truncates the file back to the last intact entry, mirroring the
 // corruption discipline of internal/storage: a torn entry is dropped
 // whole, never half-applied. Corruption BEFORE the tail (a bad entry
 // followed by readable ones) is not recoverable and fails Open.
+//
+// Error discipline: the first append that fails — a short write, a
+// failed fsync, or an injected ENOSPC/EIO fault — POISONS the log.
+// The entry was never acknowledged, the tail of the file is in an
+// unknown state (fsync failure means the kernel may have dropped the
+// page and cleared the error), so no further appends are accepted
+// until the process restarts and Open re-establishes the durable
+// prefix. Callers surface this as read-only degraded mode.
 package wal
 
 import (
@@ -32,14 +49,20 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sync"
 
 	"idlog/internal/core"
+	"idlog/internal/fault"
 	"idlog/internal/guard"
 	"idlog/internal/symbol"
 	"idlog/internal/value"
 )
 
-const magic = "IDLOGWAL1"
+const (
+	magicV1 = "IDLOGWAL1"
+	magicV2 = "IDLOGWAL2"
+)
 
 // maxStringLen and maxCount bound decoded lengths as corruption guards.
 const (
@@ -61,27 +84,44 @@ func corruptf(format string, args ...any) error {
 // presumed dead. Crash-recovery tests reopen the log afterwards.
 var ErrSimulatedCrash = errors.New("wal: simulated crash during append")
 
+// ErrPoisoned is returned by Append after any earlier append failed:
+// the durable tail is in an unknown state and only a restart (Open)
+// re-establishes it. The first failure's cause is wrapped alongside.
+var ErrPoisoned = errors.New("wal: log poisoned by an earlier append failure")
+
 // Record is one durable mutation batch. Session addresses the idlogd
-// session the batch applied to ("" for the base session).
+// session the batch applied to ("" for the base session). LSN is the
+// global mutation sequence number: assigned by Append on the primary,
+// carried through replication, preserved by a follower's own log.
 type Record struct {
+	LSN     uint64
 	Session string
 	Inserts []core.Fact
 	Deletes []core.Fact
 }
 
-// Log is an open write-ahead log. Not safe for concurrent use; idlogd
-// serializes appends behind its mutation lock.
+// Log is an open write-ahead log. Safe for concurrent use: appends on
+// behalf of different idlogd sessions may race, and the internal lock
+// makes the (LSN assignment, file append) pair atomic so LSN order
+// always equals file order.
 type Log struct {
-	path    string
-	f       *os.File
-	size    int64
-	entries int
-	fault   *guard.Guard
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	size     int64
+	header   int64 // size of the magic+baseLSN header
+	entries  int
+	baseLSN  uint64 // LSN covered by the snapshot under this log
+	nextLSN  uint64
+	poisoned error // first append failure; sticky until reopen
+	fault    *guard.Guard
+	faults   *fault.Registry
 }
 
 // Open opens (or creates) the log at path, replays every intact entry,
 // truncates a torn tail, and returns the log positioned for appends
-// together with the replayed records.
+// together with the replayed records (LSNs populated). v1 logs are
+// migrated to v2 in place.
 func Open(path string) (*Log, []Record, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -92,9 +132,10 @@ func Open(path string) (*Log, []Record, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	l := &Log{path: path, f: f}
+	l := &Log{path: path, f: f, nextLSN: 1}
 	if st.Size() == 0 {
-		if _, err := f.WriteString(magic); err != nil {
+		hdr := appendHeader(nil, 0)
+		if _, err := f.Write(hdr); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
@@ -102,7 +143,8 @@ func Open(path string) (*Log, []Record, error) {
 			f.Close()
 			return nil, nil, err
 		}
-		l.size = int64(len(magic))
+		l.size = int64(len(hdr))
+		l.header = l.size
 		return l, nil, nil
 	}
 
@@ -111,26 +153,37 @@ func Open(path string) (*Log, []Record, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+	if len(data) >= len(magicV1) && string(data[:len(magicV1)]) == magicV1 {
+		// v1 log: decode without LSNs, then migrate the file to v2.
+		recs, _ := scanEntries(data, len(magicV1), 1, 0)
+		for i := range recs {
+			recs[i].LSN = uint64(i + 1)
+		}
+		f.Close()
+		l.f = nil
+		if err := l.resetWithLocked(0, recs); err != nil {
+			return nil, nil, fmt.Errorf("wal: migrate v1 log: %w", err)
+		}
+		return l, recs, nil
+	}
+	if len(data) < len(magicV2) || string(data[:len(magicV2)]) != magicV2 {
 		f.Close()
 		return nil, nil, corruptf("bad magic (not an IDLOG WAL)")
 	}
-	var recs []Record
-	off := len(magic)
-	valid := off
-	for off < len(data) {
-		rec, next, ok := decodeEntry(data, off)
-		if !ok {
-			// Torn tail: drop the partial entry and everything after it
-			// (a crash can only tear the last write; anything beyond it
-			// was never acknowledged).
-			break
-		}
-		recs = append(recs, rec)
-		off = next
-		valid = next
-		l.entries++
+	base, n := binary.Uvarint(data[len(magicV2):])
+	if n <= 0 {
+		f.Close()
+		return nil, nil, corruptf("truncated header")
 	}
+	l.header = int64(len(magicV2) + n)
+	l.baseLSN = base
+	l.nextLSN = base + 1
+
+	recs, valid := scanEntries(data, int(l.header), 2, base)
+	if len(recs) > 0 {
+		l.nextLSN = recs[len(recs)-1].LSN + 1
+	}
+	l.entries = len(recs)
 	if int64(valid) != st.Size() {
 		if err := f.Truncate(int64(valid)); err != nil {
 			f.Close()
@@ -149,9 +202,33 @@ func Open(path string) (*Log, []Record, error) {
 	return l, recs, nil
 }
 
+// scanEntries decodes entries from off until the data ends or an entry
+// fails to decode (torn tail). version selects the payload layout;
+// prevLSN seeds the monotonicity check for v2.
+func scanEntries(data []byte, off, version int, prevLSN uint64) (recs []Record, valid int) {
+	valid = off
+	for off < len(data) {
+		rec, next, ok := decodeEntry(data, off, version)
+		if !ok {
+			break
+		}
+		if version == 2 && rec.LSN <= prevLSN {
+			// An LSN regression behind a valid checksum is a format
+			// violation; recovery drops the entry (and its successors)
+			// whole, like any other undecodable tail.
+			break
+		}
+		prevLSN = rec.LSN
+		recs = append(recs, rec)
+		off = next
+		valid = next
+	}
+	return recs, valid
+}
+
 // decodeEntry parses one entry at off; ok is false when the entry is
 // torn or damaged (the caller truncates there).
-func decodeEntry(data []byte, off int) (Record, int, bool) {
+func decodeEntry(data []byte, off, version int) (Record, int, bool) {
 	plen, n := binary.Uvarint(data[off:])
 	if n <= 0 || plen > maxPayload {
 		return Record{}, 0, false
@@ -166,7 +243,7 @@ func decodeEntry(data []byte, off int) (Record, int, bool) {
 	if crc32.ChecksumIEEE(payload) != want {
 		return Record{}, 0, false
 	}
-	rec, err := decodePayload(payload)
+	rec, err := decodePayload(payload, version)
 	if err != nil {
 		// The checksum matched but the payload does not parse: that is
 		// body corruption (or a format bug), not a torn tail, yet the
@@ -273,10 +350,15 @@ func (p *payloadReader) facts() ([]core.Fact, error) {
 	return facts, nil
 }
 
-func decodePayload(b []byte) (Record, error) {
+func decodePayload(b []byte, version int) (Record, error) {
 	p := &payloadReader{b: b}
 	var rec Record
 	var err error
+	if version >= 2 {
+		if rec.LSN, err = p.uvarint(); err != nil {
+			return rec, err
+		}
+	}
 	if rec.Session, err = p.str(); err != nil {
 		return rec, err
 	}
@@ -325,75 +407,256 @@ func appendFacts(b []byte, facts []core.Fact) []byte {
 	return b
 }
 
-// InjectFault arms guard-driven fault injection (torn appends) on the
-// log. Nil disarms.
-func (l *Log) InjectFault(g *guard.Guard) { l.fault = g }
+// appendHeader renders the v2 file header.
+func appendHeader(b []byte, baseLSN uint64) []byte {
+	b = append(b, magicV2...)
+	return appendUvarint(b, baseLSN)
+}
 
-// Append encodes rec, writes it, and fsyncs before returning: when
-// Append returns nil the record survives any crash. The caller must
-// only acknowledge (and apply) the mutation after Append succeeds.
-func (l *Log) Append(rec Record) error {
-	payload := appendString(nil, rec.Session)
+// EncodeEntry renders rec (including rec.LSN) as one v2 log entry —
+// length, payload, checksum. The same bytes frame replication stream
+// entries, so a follower decodes the stream with the code that decodes
+// its own log.
+func EncodeEntry(rec Record) []byte {
+	payload := appendUvarint(nil, rec.LSN)
+	payload = appendString(payload, rec.Session)
 	payload = appendFacts(payload, rec.Inserts)
 	payload = appendFacts(payload, rec.Deletes)
 	entry := appendUvarint(nil, uint64(len(payload)))
 	entry = append(entry, payload...)
 	var sum [4]byte
 	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
-	entry = append(entry, sum[:]...)
+	return append(entry, sum[:]...)
+}
+
+// InjectFault arms guard-driven fault injection (torn appends) on the
+// log. Nil disarms.
+func (l *Log) InjectFault(g *guard.Guard) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fault = g
+}
+
+// SetFaults arms registry-driven fault injection (write and fsync
+// failures at the fault.WALAppend* points). Nil disarms.
+func (l *Log) SetFaults(r *fault.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.faults = r
+}
+
+// Append assigns rec the next LSN (or honors a pre-assigned rec.LSN —
+// the follower path, which preserves the primary's numbering), encodes
+// it, writes it, and fsyncs before returning: when Append returns a
+// nil error the record survives any crash. The caller must only
+// acknowledge (and apply) the mutation after Append succeeds. Any
+// failure poisons the log — see ErrPoisoned.
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.poisoned != nil {
+		return 0, fmt.Errorf("%w (first failure: %v)", ErrPoisoned, l.poisoned)
+	}
+	if rec.LSN == 0 {
+		rec.LSN = l.nextLSN
+	} else if rec.LSN < l.nextLSN {
+		return 0, fmt.Errorf("wal: append LSN %d behind log position %d", rec.LSN, l.nextLSN)
+	}
+	entry := EncodeEntry(rec)
+
+	if err := l.faults.Hit(fault.WALAppendWrite); err != nil {
+		// Injected ENOSPC/EIO mid-write: a prefix reaches the file, the
+		// write call errors, the log is poisoned.
+		torn := entry[:len(entry)/2]
+		if _, werr := l.f.Write(torn); werr == nil {
+			_ = l.f.Sync()
+			l.size += int64(len(torn))
+		}
+		l.poisoned = err
+		return 0, err
+	}
 
 	if l.fault != nil && l.fault.TakeTornWrite() {
 		// Simulated crash: persist only a prefix of the entry, as a real
 		// crash mid-write would, and report the process dead.
 		torn := entry[:len(entry)/2]
 		if _, err := l.f.Write(torn); err != nil {
-			return err
+			l.poisoned = err
+			return 0, err
 		}
 		if err := l.f.Sync(); err != nil {
-			return err
+			l.poisoned = err
+			return 0, err
 		}
 		l.size += int64(len(torn))
-		return ErrSimulatedCrash
+		l.poisoned = ErrSimulatedCrash
+		return 0, ErrSimulatedCrash
 	}
 
 	if _, err := l.f.Write(entry); err != nil {
-		return err
+		l.poisoned = err
+		return 0, err
+	}
+	if err := l.faults.Hit(fault.WALAppendSync); err != nil {
+		// Injected fsync failure: the bytes may or may not be durable —
+		// exactly the ambiguity real fsync errors leave — so the entry
+		// is not acknowledged and the log is poisoned. If the bytes did
+		// survive, restart replays an unacknowledged mutation, which the
+		// durability contract permits (acked entries always survive;
+		// unacked ones may).
+		l.size += int64(len(entry))
+		l.poisoned = err
+		return 0, err
 	}
 	if err := l.f.Sync(); err != nil {
-		return err
+		l.poisoned = err
+		return 0, err
 	}
 	l.size += int64(len(entry))
 	l.entries++
-	return nil
+	l.nextLSN = rec.LSN + 1
+	return rec.LSN, nil
 }
 
-// Reset truncates the log to empty (just the magic). Called after a
-// checkpoint snapshot has been durably written: the snapshot now covers
-// everything the log held.
+// Reset truncates the log to empty entries while advancing the base
+// LSN to cover everything the log held: equivalent to
+// ResetWith(LastLSN(), nil). Retained for callers that checkpoint
+// without consolidation entries.
 func (l *Log) Reset() error {
-	if err := l.f.Truncate(int64(len(magic))); err != nil {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.resetWithLocked(l.nextLSN-1, nil)
+}
+
+// ResetWith atomically replaces the log with a fresh one sitting on a
+// checkpoint at baseLSN, pre-populated with recs (assigned LSNs
+// baseLSN+1..baseLSN+len(recs), returned with those LSNs set). The
+// replacement is write-to-temp + fsync + rename + directory fsync, so
+// a crash at ANY point leaves either the old complete log or the new
+// complete log — never a truncated-but-unconsolidated state (the
+// failure mode of truncate-then-append checkpointing, which could lose
+// acknowledged session facts).
+func (l *Log) ResetWith(baseLSN uint64, recs []Record) ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(recs))
+	copy(out, recs)
+	for i := range out {
+		out[i].LSN = baseLSN + uint64(i) + 1
+	}
+	if err := l.resetWithLocked(baseLSN, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// resetWithLocked rewrites the log file; recs must carry their LSNs.
+// Callers hold l.mu (or own the log exclusively during Open
+// migration).
+func (l *Log) resetWithLocked(baseLSN uint64, recs []Record) error {
+	data := appendHeader(nil, baseLSN)
+	header := int64(len(data))
+	for _, rec := range recs {
+		data = append(data, EncodeEntry(rec)...)
+	}
+	tmp := l.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	if _, err := l.f.Seek(int64(len(magic)), io.SeekStart); err != nil {
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		os.Remove(tmp)
 		return err
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
 		return err
 	}
-	l.size = int64(len(magic))
-	l.entries = 0
+	if err := os.Rename(tmp, l.path); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Fsync the directory so the rename itself is durable.
+	if d, err := os.Open(filepath.Dir(l.path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	if l.f != nil {
+		_ = l.f.Close()
+	}
+	l.f = tf
+	if _, err := tf.Seek(int64(len(data)), io.SeekStart); err != nil {
+		return err
+	}
+	l.size = int64(len(data))
+	l.header = header
+	l.entries = len(recs)
+	l.baseLSN = baseLSN
+	if len(recs) > 0 {
+		l.nextLSN = recs[len(recs)-1].LSN + 1
+	} else {
+		l.nextLSN = baseLSN + 1
+	}
+	l.poisoned = nil
 	return nil
 }
 
 // Size returns the current file size in bytes.
-func (l *Log) Size() int64 { return l.size }
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// HeaderSize returns the size of the file header (an empty log's
+// Size).
+func (l *Log) HeaderSize() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.header
+}
 
 // Entries returns the number of intact entries appended or replayed
-// since open (or the last Reset).
-func (l *Log) Entries() int { return l.entries }
+// since open (or the last Reset/ResetWith).
+func (l *Log) Entries() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.entries
+}
+
+// BaseLSN returns the LSN covered by the checkpoint snapshot this log
+// sits on (0 for a never-checkpointed log).
+func (l *Log) BaseLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.baseLSN
+}
+
+// LastLSN returns the LSN of the last durable entry (or the base LSN
+// when the log is empty of entries).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Poisoned reports the first append failure, or nil while the log is
+// healthy.
+func (l *Log) Poisoned() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poisoned
+}
 
 // Path returns the log's file path.
 func (l *Log) Path() string { return l.path }
 
 // Close closes the underlying file.
-func (l *Log) Close() error { return l.f.Close() }
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
