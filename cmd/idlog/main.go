@@ -27,6 +27,13 @@
 //	-optimize p      print the §4-optimized program w.r.t. p and exit
 //	-show            print the (choice-translated) program before running
 //	-stats           print evaluation statistics
+//	-engine e        storage engine: mem (default) or disk, which reads the
+//	                 EDB from segment files in -data-dir through a bounded
+//	                 block cache so databases larger than RAM evaluate
+//	-data-dir dir    disk-engine data directory
+//	-cache-mb n      disk-engine block cache budget in MiB (default 64)
+//	-bulk-load file  stream a fact file into a fresh -data-dir database
+//	                 (never materializing it in memory) and exit
 //
 // Ctrl-C (SIGINT) cancels the run gracefully: the engine stops at the
 // next guard checkpoint and exits with the cancellation code.
@@ -128,7 +135,35 @@ func main() {
 	interactive := flag.Bool("i", false, "start an interactive session (REPL)")
 	walPath := flag.String("wal", "", "durable write-ahead log for the interactive session (with -i)")
 	explain := flag.String("explain", "", "print the derivation tree of a ground atom, e.g. 'tc(a, c)'")
+	engine := flag.String("engine", "mem", "storage engine: mem (in-memory) or disk (segment files in -data-dir)")
+	dataDir := flag.String("data-dir", "", "disk-engine data directory (with -engine=disk or -bulk-load)")
+	cacheMB := flag.Int("cache-mb", 64, "disk-engine block cache budget in MiB")
+	bulkLoad := flag.String("bulk-load", "", "stream a fact file into a fresh -data-dir database and exit")
 	flag.Parse()
+
+	kind, err := storage.ParseEngineKind(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idlog:", err)
+		os.Exit(exitUsage)
+	}
+	if *bulkLoad != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "idlog: -bulk-load requires -data-dir")
+			os.Exit(exitUsage)
+		}
+		stats, err := storage.BulkLoadFile(*dataDir, *bulkLoad)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d tuple(s) into %d relation(s) (%d duplicate(s) dropped)\n",
+			stats.Tuples, stats.Relations, stats.Duplicates)
+		return
+	}
+	if kind == storage.EngineDisk && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "idlog: -engine=disk requires -data-dir")
+		os.Exit(exitUsage)
+	}
+	eng := storage.Engine{Kind: kind, Dir: *dataDir, CacheBytes: int64(*cacheMB) << 20}
 
 	if *interactive {
 		var preload []*ast.Clause
@@ -151,6 +186,15 @@ func main() {
 			preload = append(preload, prog.Clauses...)
 		}
 		db := idlog.NewDatabase()
+		if eng.Disk() {
+			loaded, err := storage.OpenDir(eng.Dir, eng.Cache())
+			if err != nil && !os.IsNotExist(err) {
+				fatal(err)
+			}
+			if err == nil {
+				db = loaded
+			}
+		}
 		var log *wal.Log
 		if *walPath != "" {
 			l, recs, err := wal.Open(*walPath)
@@ -214,12 +258,26 @@ func main() {
 	}
 
 	db := idlog.NewDatabase()
+	if eng.Disk() {
+		loaded, err := storage.OpenDir(eng.Dir, eng.Cache())
+		if err != nil {
+			fatal(err)
+		}
+		db = loaded
+	}
 	if *loadSnap != "" {
 		loaded, err := storage.LoadFile(*loadSnap)
 		if err != nil {
 			fatal(err)
 		}
-		db = loaded
+		if eng.Disk() {
+			// Overlay the snapshot's relations onto the disk-resident EDB.
+			for _, name := range loaded.Names() {
+				db.SetRelation(name, loaded.Relation(name))
+			}
+		} else {
+			db = loaded
+		}
 	}
 	for _, f := range factFiles {
 		if err := loadFacts(db, f); err != nil {

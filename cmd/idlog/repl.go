@@ -83,13 +83,18 @@ type repl struct {
 	out     io.Writer
 }
 
+// replDBListMax bounds how many tuples :db prints per relation; beyond
+// it only the size line appears (disk-backed EDBs can exceed RAM).
+const replDBListMax = 100
+
 const replHelp = `commands:
   fact or clause ending in '.'   add to the session program
   ?- body.                       query: evaluate and print answers
   :list                          print the session program
   :assert f(a, b). g(c).         insert ground facts into the live database
   :retract f(a, b).              delete ground facts from the live database
-  :db                            print the live database relations
+  :db                            print the live database relations with
+                                 sizes (and disk-resident tuple counts)
   :load FILE                     load clauses/facts from a file
   :seed N                        use the random oracle with seed N
   :sorted                        back to the deterministic oracle
@@ -198,7 +203,19 @@ func (s *repl) command(line string) bool {
 			break
 		}
 		for _, name := range s.db.Names() {
-			fmt.Fprintln(s.out, s.db.Relation(name))
+			r := s.db.Relation(name)
+			size := fmt.Sprintf("%s/%d: %d tuple(s)", name, r.Arity(), r.Len())
+			if n := r.SourceLen(); n > 0 {
+				size += fmt.Sprintf(", %d disk-resident", n)
+			}
+			fmt.Fprintln(s.out, size)
+			// A disk-backed relation can dwarf RAM; list contents only
+			// when they plausibly fit a screen.
+			if r.Len() <= replDBListMax {
+				fmt.Fprintln(s.out, r)
+			} else {
+				fmt.Fprintf(s.out, "  (contents elided; > %d tuples)\n", replDBListMax)
+			}
 		}
 	case ":plan":
 		arg := strings.TrimSpace(line[len(fields[0]):])

@@ -45,6 +45,14 @@
 //	                      "wal.append.sync:after=100,err=EIO" or
 //	                      "repl.stream.send:count=3". For fault drills and
 //	                      the chaos harness; never set in production.
+//	-engine e             storage engine: mem (default) or disk. The disk
+//	                      engine keeps the base EDB in segment files under
+//	                      -data-dir behind a bounded block cache (EDBs
+//	                      larger than RAM), loads it on startup (with the
+//	                      WAL tail replayed on top), and checkpoints by
+//	                      writing a new segment generation there.
+//	-data-dir dir         disk-engine data directory
+//	-cache-mb n           disk-engine block cache budget in MiB (default 64)
 //	-pprof addr           serve net/http/pprof on a SEPARATE listener at
 //	                      addr (e.g. localhost:6060); empty disables. Kept
 //	                      off the query listener so profiling endpoints
@@ -134,9 +142,23 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.Uint64Var(&dc.replicaLag, "replica-max-lag", 1024, "readiness bound on entries behind the primary")
 	var chaosSpecs stringList
 	fs.Var(&chaosSpecs, "chaos", "arm a fault injection point, e.g. \"wal.append.sync:after=100,err=EIO\" (repeatable)")
+	engine := fs.String("engine", "mem", "storage engine: mem (in-memory) or disk (segment files in -data-dir)")
+	dataDir := fs.String("data-dir", "", "disk-engine data directory (with -engine=disk)")
+	cacheMB := fs.Int("cache-mb", 64, "disk-engine block cache budget in MiB")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	kind, err := storage.ParseEngineKind(*engine)
+	if err != nil {
+		fmt.Fprintln(stderr, "idlogd:", err)
+		return nil, err
+	}
+	if kind == storage.EngineDisk && *dataDir == "" {
+		err := fmt.Errorf("-engine=disk requires -data-dir")
+		fmt.Fprintln(stderr, "idlogd:", err)
+		return nil, err
+	}
+	dc.server.Engine = storage.Engine{Kind: kind, Dir: *dataDir, CacheBytes: int64(*cacheMB) << 20}
 	if len(chaosSpecs) > 0 {
 		reg := fault.New()
 		for _, spec := range chaosSpecs {
@@ -208,12 +230,15 @@ func buildServer(dc *daemonConfig) (*server.Server, error) {
 		}
 	}
 	if dc.walPath != "" {
-		// OpenWAL loads <wal>.snapshot if present (superseding an
-		// empty base), replays surviving entries, and keeps the log
-		// open for durable mutations.
+		// OpenWAL loads the engine's checkpoint if present — the
+		// <wal>.snapshot file, or the disk engine's data directory —
+		// superseding an empty base, replays surviving entries, and
+		// keeps the log open for durable mutations.
 		if err := s.OpenWAL(dc.walPath); err != nil {
 			return nil, fmt.Errorf("wal %s: %w", dc.walPath, err)
 		}
+	} else if err := s.LoadDiskBase(); err != nil {
+		return nil, fmt.Errorf("data dir %s: %w", dc.server.Engine.Dir, err)
 	}
 	ok = true
 	return s, nil

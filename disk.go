@@ -1,0 +1,86 @@
+package idlog
+
+import (
+	"io"
+	"os"
+	"sync"
+
+	"idlog/internal/storage"
+)
+
+// Disk-engine entry points. The in-memory engine remains the default;
+// these functions open, create, and checkpoint databases whose frozen
+// relations live in block-indexed segment files (internal/segment)
+// behind a shared LRU block cache, so EDBs larger than RAM evaluate
+// within a bounded resident set. Engine choice is invisible to
+// evaluation: a disk-backed Database is the same *Database, produces
+// byte-identical fingerprints, and accepts the same mutations (inserts
+// overlay in memory; the first deletion promotes the relation).
+
+// BulkLoadStats summarizes a bulk load; see BulkLoadFacts.
+type BulkLoadStats = storage.BulkStats
+
+// OpenDiskDatabase opens the disk-backed database in dir (written by
+// SaveDiskDatabase or BulkLoadFacts). cacheBytes bounds the decoded-
+// block cache shared by the database's segments; 0 uses the process
+// default (64 MiB). The returned database is unfrozen, like LoadSnapshot's.
+func OpenDiskDatabase(dir string, cacheBytes int64) (*Database, error) {
+	e := storage.Engine{Kind: storage.EngineDisk, Dir: dir, CacheBytes: cacheBytes}
+	return storage.OpenDir(dir, e.Cache())
+}
+
+// SaveDiskDatabase checkpoints db into dir as segment files, streaming
+// relation by relation and atomically swinging the directory manifest,
+// so a crash mid-write leaves the previous generation intact.
+func SaveDiskDatabase(dir string, db *Database) error {
+	return storage.WriteDir(dir, db)
+}
+
+// BulkLoadFacts streams ground facts in concrete syntax ("edge(a, b).")
+// from r into a fresh disk database at dir without ever materializing a
+// relation in memory — the load path for EDBs that do not fit in RAM.
+// Open the result with OpenDiskDatabase.
+func BulkLoadFacts(dir string, r io.Reader) (BulkLoadStats, error) {
+	return storage.BulkLoad(dir, r)
+}
+
+// BulkLoadFactsFile is BulkLoadFacts reading from a file.
+func BulkLoadFactsFile(dir, factsPath string) (BulkLoadStats, error) {
+	return storage.BulkLoadFile(dir, factsPath)
+}
+
+// diskTest reports whether the IDLOG_ENGINE=disk test seam is armed:
+// the environment knob that re-routes every EvalContext-family call
+// through a disk-backed copy of its database, so the entire test suite
+// exercises the disk engine (IDLOG_ENGINE=disk go test ./...) with no
+// per-test changes.
+var diskTest = sync.OnceValue(func() bool {
+	return os.Getenv("IDLOG_ENGINE") == string(storage.EngineDisk)
+})
+
+// engineTestDB is the seam itself: under IDLOG_ENGINE=disk it spills db
+// to a temporary segment directory and reopens it disk-backed. The
+// directory is unlinked immediately — the open segment files keep the
+// data readable (POSIX) and release on GC — so tests leave nothing
+// behind. Without the knob it returns db untouched.
+func engineTestDB(db *Database) (*Database, error) {
+	if db == nil || !diskTest() || len(db.Names()) == 0 {
+		return db, nil
+	}
+	dir, err := os.MkdirTemp("", "idlog-disk-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := storage.WriteDir(dir, db); err != nil {
+		return nil, err
+	}
+	ddb, err := storage.OpenDir(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	if db.Frozen() {
+		ddb.Freeze()
+	}
+	return ddb, nil
+}

@@ -219,6 +219,10 @@ func (p *Program) Eval(db *Database, opts ...Option) (*Result, error) {
 // boundaries (within guard.CheckInterval derivations).
 func (p *Program) EvalContext(ctx context.Context, db *Database, opts ...Option) (*Result, error) {
 	cfg := buildConfig(ctx, opts)
+	db, err := engineTestDB(db)
+	if err != nil {
+		return nil, err
+	}
 	return core.Eval(p.info, db, cfg.eval)
 }
 
@@ -237,6 +241,10 @@ func (p *Program) Enumerate(db *Database, preds []string, opts ...Option) ([]*An
 // wall clock govern the walk as a whole, not each run.
 func (p *Program) EnumerateContext(ctx context.Context, db *Database, preds []string, opts ...Option) ([]*Answer, error) {
 	cfg := buildConfig(ctx, opts)
+	db, dberr := engineTestDB(db)
+	if dberr != nil {
+		return nil, dberr
+	}
 	answers, err := core.Enumerate(p.info, db, preds, core.EnumerateOptions{
 		MaxRuns: cfg.maxRuns,
 		Eval:    cfg.eval,
@@ -309,6 +317,10 @@ func SampleContext(ctx context.Context, spec SampleSpec, db *Database, seed uint
 	}
 	s := sampling.Spec{Relation: spec.Relation, Arity: spec.Arity, GroupCols: cols, K: spec.K}
 	cfg := buildConfig(ctx, opts)
+	db, err := engineTestDB(db)
+	if err != nil {
+		return nil, err
+	}
 	rel, _, err := sampling.SampleWith(s, db, seed, cfg.eval)
 	return rel, err
 }

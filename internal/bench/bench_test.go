@@ -42,10 +42,13 @@ func TestQuickSuiteRuns(t *testing.T) {
 		E15Reps:      2,
 		E15JoinSizes: []int{256},
 		E15Chains:    []int{16},
+		E16Sizes:     []int{512},
+		E16CacheKBs:  []int{16, 1024},
+		E16Reps:      2,
 	}
 	tables := Run(suite, "all")
-	if len(tables) != 14 {
-		t.Fatalf("ran %d experiments, want 14", len(tables))
+	if len(tables) != 15 {
+		t.Fatalf("ran %d experiments, want 15", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
@@ -63,7 +66,7 @@ func TestQuickSuiteRuns(t *testing.T) {
 			t.Errorf("%s render missing header: %q", tab.ID, out[:60])
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14", "E15"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14", "E15", "E16"} {
 		if !ids[id] {
 			t.Errorf("experiment %s missing", id)
 		}

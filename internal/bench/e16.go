@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"idlog/internal/analysis"
+	"idlog/internal/core"
+	"idlog/internal/segment"
+	"idlog/internal/storage"
+	"idlog/internal/value"
+)
+
+// E16 kernels: a full EDB scan (node enumeration) and a probe-heavy
+// selective join whose output stays tiny, so resident memory is
+// dominated by how the engine holds the EDB — the quantity under test.
+const (
+	e16ScanSrc  = `node(X) :- edge(X, _).`
+	e16ProbeSrc = `hit(X, Z) :- sel(X), edge(X, Y), edge(Y, Z).`
+)
+
+// e16SelKeys is the number of probe seeds in sel.
+const e16SelKeys = 8
+
+// e16MemDB builds the ring-graph EDB in memory: edge(i, (i+1) mod n)
+// plus e16SelKeys probe seeds.
+func e16MemDB(n int) *core.Database {
+	db := core.NewDatabase()
+	for i := 0; i < n; i++ {
+		_ = db.Add("edge", value.Ints(int64(i), int64((i+1)%n)))
+	}
+	for k := 0; k < e16SelKeys; k++ {
+		_ = db.Add("sel", value.Ints(int64(k*(n/e16SelKeys))))
+	}
+	return db
+}
+
+// e16Facts renders the same EDB in concrete fact syntax for the bulk
+// loader.
+func e16Facts(n int) string {
+	var b strings.Builder
+	b.Grow(n * 16)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "edge(%d, %d).\n", i, (i+1)%n)
+	}
+	for k := 0; k < e16SelKeys; k++ {
+		fmt.Fprintf(&b, "sel(%d).\n", k*(n/e16SelKeys))
+	}
+	return b.String()
+}
+
+// heapMB forces a GC and reports the resident heap in MiB.
+func heapMB() float64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.HeapInuse) / (1 << 20)
+}
+
+// e16Eval times reps evaluations of info over db and returns the mean
+// plus the fingerprint of the (first) result.
+func e16Eval(info *analysis.Info, db *core.Database, reps int) (time.Duration, string) {
+	res := evalOnce(info, db, core.Options{})
+	print := resultFingerprint(res, info)
+	var sum time.Duration
+	for r := 0; r < reps; r++ {
+		d, _ := timed(func() error {
+			evalOnce(info, db, core.Options{})
+			return nil
+		})
+		sum += d
+	}
+	return sum / time.Duration(reps), print
+}
+
+// E16 measures the disk storage engine against the in-memory engine on
+// EDBs up to 10–100x the largest in-memory benchmark: streaming
+// bulk-load throughput, full-scan and selective-probe evaluation, and
+// the resident memory each engine needs to hold the EDB — swept across
+// block-cache budgets for the disk engine. Fingerprints must match the
+// in-memory engine cell for cell.
+func E16(sizes, cacheKBs []int, reps int) *Table {
+	t := &Table{
+		ID:      "E16",
+		Title:   "disk storage engine: bulk load, scan and probe, mem vs disk across cache budgets",
+		Claim:   "segment-file EDBs evaluate with byte-identical answers at a resident set bounded by the block-cache budget, so databases larger than RAM remain queryable",
+		Columns: []string{"n", "engine", "load ms", "scan ms", "probe ms", "edb resident MB", "cache hit%", "identical"},
+	}
+	scanInfo := mustAnalyze(mustParse(e16ScanSrc))
+	probeInfo := mustAnalyze(mustParse(e16ProbeSrc))
+	allIdentical := true
+	for _, n := range sizes {
+		// In-memory baseline: the EDB lives in hash tables on the heap.
+		base := heapMB()
+		var mem *core.Database
+		buildMS, _ := timed(func() error { mem = e16MemDB(n); return nil })
+		mem.Freeze()
+		memResident := heapMB() - base
+		scanMS, scanPrint := e16Eval(scanInfo, mem, reps)
+		probeMS, probePrint := e16Eval(probeInfo, mem, reps)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), "mem", ms(buildMS), ms(scanMS), ms(probeMS),
+			fmt.Sprintf("%.1f", memResident), "-", "-",
+		})
+		mem = nil
+
+		// Disk engine: stream the same facts through the bulk loader,
+		// then evaluate through block caches of decreasing generosity.
+		dir, err := os.MkdirTemp("", "idlog-e16-*")
+		if err != nil {
+			panic(err)
+		}
+		facts := e16Facts(n)
+		loadMS, err := timed(func() error {
+			_, err := storage.BulkLoad(dir, strings.NewReader(facts))
+			return err
+		})
+		if err != nil {
+			panic(err)
+		}
+		facts = "" // release the rendered text before measuring resident heap
+		for _, kb := range cacheKBs {
+			cache := segment.NewCache(int64(kb) << 10)
+			before := heapMB()
+			disk, err := storage.OpenDir(dir, cache)
+			if err != nil {
+				panic(err)
+			}
+			disk.Freeze()
+			dScanMS, dScanPrint := e16Eval(scanInfo, disk, reps)
+			dProbeMS, dProbePrint := e16Eval(probeInfo, disk, reps)
+			resident := heapMB() - before
+			if resident < 0 {
+				resident = 0
+			}
+			hits, misses := cache.Stats()
+			hitPct := "-"
+			if hits+misses > 0 {
+				hitPct = fmt.Sprintf("%.1f", 100*float64(hits)/float64(hits+misses))
+			}
+			identical := "yes"
+			if dScanPrint != scanPrint || dProbePrint != probePrint {
+				identical = "NO"
+				allIdentical = false
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", n), fmt.Sprintf("disk cache=%dKB", kb),
+				ms(loadMS), ms(dScanMS), ms(dProbeMS),
+				fmt.Sprintf("%.1f", resident), hitPct, identical,
+			})
+		}
+		os.RemoveAll(dir)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mean of %d runs per cell after one warm-up; 'load ms' is streaming bulk-load (parse + dedup + segment encode) for disk rows, in-memory construction for mem rows", reps),
+		"'edb resident MB' is the GC-settled heap growth from holding the opened EDB plus evaluation state: the mem engine pays for every tuple, the disk engine for the block cache and per-tuple hash index only",
+		"'identical' compares scan and probe model fingerprints against the in-memory engine; kernels keep outputs small (scan: n unary tuples, probe: 8) so resident memory isolates EDB storage, not result materialization")
+	if !allIdentical {
+		t.Notes = append(t.Notes, "DIVERGENCE DETECTED: disk-engine answers differed from the in-memory engine — this is a bug")
+	}
+	return t
+}

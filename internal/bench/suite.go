@@ -63,6 +63,12 @@ type Suite struct {
 	E15Reps      int
 	E15JoinSizes []int
 	E15Chains    []int
+	// E16Sizes are EDB edge counts for the storage-engine experiment,
+	// E16CacheKBs the disk-engine block-cache budgets swept per size,
+	// and E16Reps the timed-runs-per-cell sample.
+	E16Sizes    []int
+	E16CacheKBs []int
+	E16Reps     int
 }
 
 // Quick returns a suite sized to finish in a few seconds.
@@ -101,6 +107,9 @@ func Quick() Suite {
 		E15Reps:      3,
 		E15JoinSizes: []int{4096, 8192, 16384},
 		E15Chains:    []int{64, 128, 256},
+		E16Sizes:     []int{50_000, 200_000},
+		E16CacheKBs:  []int{256, 4096, 65536},
+		E16Reps:      3,
 	}
 }
 
@@ -140,6 +149,12 @@ func Full() Suite {
 		E15Reps:      7,
 		E15JoinSizes: []int{16384, 32768, 65536},
 		E15Chains:    []int{128, 256, 512},
+		// The largest in-memory benchmark EDB is E15's 65536-key join
+		// (~130k tuples); 2M edges is ~15x that, and the full-scan
+		// kernel touches every one from disk.
+		E16Sizes:    []int{500_000, 2_000_000},
+		E16CacheKBs: []int{256, 4096, 65536},
+		E16Reps:     3,
 	}
 }
 
@@ -170,5 +185,6 @@ func Run(s Suite, only string) []*Table {
 	run("E13", func() *Table { return E13(s.E13Reps, s.E13Grid, s.E13Chain, s.E13Emp[0], s.E13Emp[1], s.E13Workers) })
 	run("E14", func() *Table { return E14(s.E14Chain, s.E14Grid, s.E14Persons, s.E14Emp, s.E14PGraph) })
 	run("E15", func() *Table { return E15(s.E15Reps, s.E15JoinSizes, s.E15Chains) })
+	run("E16", func() *Table { return E16(s.E16Sizes, s.E16CacheKBs, s.E16Reps) })
 	return out
 }

@@ -478,17 +478,18 @@ func (rn *runner) stepScan(cl *compiledLit, rel *relation.Relation, env []value.
 		return rec(depth + 1)
 	}
 	if len(cl.probeCols) == 0 {
-		tuples := rel.Tuples()
-		if hi >= 0 {
-			tuples = tuples[lo:hi]
+		// Scan streams block-at-a-time from disk-backed relations, so a
+		// full scan never materializes the relation in memory.
+		if hi < 0 {
+			lo, hi = 0, rel.Len()
 		}
-		rn.stats.TuplesScanned += len(tuples)
-		for _, t := range tuples {
-			if err := match(t); err != nil {
-				return err
-			}
-		}
-		return nil
+		rn.stats.TuplesScanned += hi - lo
+		var merr error
+		rel.Scan(lo, hi, func(_ int, t value.Tuple) bool {
+			merr = match(t)
+			return merr == nil
+		})
+		return merr
 	}
 	key := cl.keyBuf
 	for i, a := range cl.probeArgs {

@@ -49,8 +49,8 @@ func stratumCard(s *analysis.Stratum, inStratum map[string]bool, rels, idrels ma
 			if a == nil || arith.IsBuiltin(a.Pred) || a.IsID || inStratum[a.Pred] {
 				continue
 			}
-			if r := rels[a.Pred]; r != nil && float64(r.Len()) > def {
-				def = float64(r.Len())
+			if r := rels[a.Pred]; r != nil && float64(r.EstimateCard()) > def {
+				def = float64(r.EstimateCard())
 			}
 		}
 	}
@@ -59,7 +59,7 @@ func stratumCard(s *analysis.Stratum, inStratum map[string]bool, rels, idrels ma
 		a := l.Atom
 		if a.IsID {
 			if r := idrels[analysis.IDNeed{Pred: a.Pred, Group: a.Group}.Key()]; r != nil {
-				return float64(r.Len())
+				return float64(r.EstimateCard())
 			}
 			return def
 		}
@@ -67,7 +67,7 @@ func stratumCard(s *analysis.Stratum, inStratum map[string]bool, rels, idrels ma
 			return def
 		}
 		if r := rels[a.Pred]; r != nil {
-			return float64(r.Len())
+			return float64(r.EstimateCard())
 		}
 		return def
 	}

@@ -24,7 +24,7 @@ type Group struct {
 func (r *Relation) Groups(cols []int) []Group {
 	byKey := make(map[string]*Group)
 	var order []string
-	for _, t := range r.tuples {
+	r.Scan(0, -1, func(_ int, t value.Tuple) bool {
 		k := t.ProjectKey(cols)
 		g, ok := byKey[k]
 		if !ok {
@@ -33,7 +33,8 @@ func (r *Relation) Groups(cols []int) []Group {
 			order = append(order, k)
 		}
 		g.Members = append(g.Members, t)
-	}
+		return true
+	})
 	out := make([]Group, 0, len(order))
 	for _, k := range order {
 		out = append(out, *byKey[k])

@@ -144,9 +144,10 @@ func (r *Relation) ensureIndex(cols []int) *secondary {
 // buildIndex scans the relation once and constructs the index on cols.
 func (r *Relation) buildIndex(cols []int) *secondary {
 	ix := &secondary{cols: append([]int(nil), cols...), buckets: make(map[uint64]*ibucket)}
-	for pos, t := range r.tuples {
+	r.Scan(0, -1, func(pos int, t value.Tuple) bool {
 		ix.add(t, pos)
-	}
+		return true
+	})
 	return ix
 }
 
@@ -156,7 +157,7 @@ func (r *Relation) buildIndex(cols []int) *secondary {
 func (r *Relation) Probe(cols []int, key value.Tuple) []int {
 	if len(cols) == 0 {
 		// Degenerate probe: every tuple matches.
-		all := make([]int, len(r.tuples))
+		all := make([]int, r.Len())
 		for i := range all {
 			all[i] = i
 		}
@@ -176,7 +177,7 @@ func (r *Relation) ProbeTuples(cols []int, key value.Tuple) []value.Tuple {
 	pos := r.Probe(cols, key)
 	out := make([]value.Tuple, len(pos))
 	for i, p := range pos {
-		out[i] = r.tuples[p]
+		out[i] = r.At(p)
 	}
 	return out
 }

@@ -1,7 +1,10 @@
-// Package relation implements in-memory relations for the IDLOG engine:
+// Package relation implements relations for the IDLOG engine:
 // duplicate-free tuple sets with hash lookup, lazily built secondary
 // indexes, grouping into sub-relations, and the materialization of
 // ID-relations under pluggable ID-function oracles (§2.1 of the paper).
+// Tuples live in memory by default, or behind a pluggable TupleSource
+// (see store.go) for disk-backed relations; the index machinery is
+// shared by both backings.
 package relation
 
 import (
@@ -16,8 +19,8 @@ import (
 )
 
 // Relation is a finite, duplicate-free set of same-arity tuples.
-// Iteration order (Tuples) is insertion order, which keeps deterministic
-// runs reproducible; use Sorted for a canonical order.
+// Iteration order (Scan, Tuples) is insertion order, which keeps
+// deterministic runs reproducible; use Sorted for a canonical order.
 //
 // A Relation is not safe for concurrent mutation. Freeze converts it
 // into an immutable value that IS safe for concurrent readers: inserts
@@ -33,13 +36,28 @@ import (
 // evaluator relies on: its rounds alternate a barriered read phase
 // (workers probe) with a single-threaded merge phase (coordinator
 // inserts), with the phase barrier providing the happens-before edge.
+//
+// Tuple storage is position-addressed and split in two: positions
+// [0, nsrc) read from an immutable TupleSource (disk segments), and
+// positions ≥ nsrc from the in-memory overlay slice. Purely in-memory
+// relations have src == nil and nsrc == 0, so the overlay IS the
+// relation and every accessor below short-circuits to the original
+// slice paths.
 type Relation struct {
-	name   string
-	arity  int
+	name  string
+	arity int
+	// tuples is the in-memory overlay: tuple at overlay index i has
+	// position nsrc+i. For mem-backed relations (src == nil) it holds
+	// everything.
 	tuples []value.Tuple
-	// primary maps 64-bit tuple hashes to positions in tuples (open
-	// addressing, Tuple.Equal on hash hits), replacing the former
-	// map[string]int over marshaled keys: no per-operation key bytes.
+	// src serves positions [0, nsrc) when non-nil. It is immutable and
+	// shared across Clone/Freeze/Thaw generations; Remove detaches it
+	// by materializing (see materialize in store.go).
+	src  TupleSource
+	nsrc int
+	// primary maps 64-bit tuple hashes to positions (open addressing,
+	// Tuple.Equal on hash hits), replacing the former map[string]int
+	// over marshaled keys: no per-operation key bytes.
 	primary table
 
 	// frozen (set before sharing by Freeze) rejects further inserts.
@@ -50,6 +68,10 @@ type Relation struct {
 	frozen  bool
 	buildMu sync.Mutex
 	shared  atomic.Pointer[[]*secondary]
+	// mat caches the materialized tuple slice of a frozen source-backed
+	// relation, so repeated Tuples() calls (snapshot writers, JSON
+	// renderers) decode the source once.
+	mat atomic.Pointer[[]value.Tuple]
 }
 
 // New returns an empty relation with the given name and arity.
@@ -75,7 +97,7 @@ func (r *Relation) Name() string { return r.name }
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.nsrc + len(r.tuples) }
 
 // Insert adds t if absent and reports whether it was added.
 // The tuple is stored as-is; callers that reuse buffers must Clone first
@@ -88,7 +110,7 @@ func (r *Relation) Insert(t value.Tuple) (bool, error) {
 		return false, fmt.Errorf("relation %s: inserting arity-%d tuple into arity-%d relation", r.name, len(t), r.arity)
 	}
 	h := t.Hash()
-	if r.primary.lookup(r.tuples, t, h) >= 0 {
+	if r.primary.lookup(r, t, h) >= 0 {
 		return false, nil
 	}
 	r.store(h, t)
@@ -107,7 +129,7 @@ func (r *Relation) InsertShared(t value.Tuple) (value.Tuple, error) {
 		return nil, fmt.Errorf("relation %s: inserting arity-%d tuple into arity-%d relation", r.name, len(t), r.arity)
 	}
 	h := t.Hash()
-	if r.primary.lookup(r.tuples, t, h) >= 0 {
+	if r.primary.lookup(r, t, h) >= 0 {
 		return nil, nil
 	}
 	c := t.Clone()
@@ -116,7 +138,7 @@ func (r *Relation) InsertShared(t value.Tuple) (value.Tuple, error) {
 }
 
 func (r *Relation) store(h uint64, t value.Tuple) {
-	pos := len(r.tuples)
+	pos := r.nsrc + len(r.tuples)
 	r.tuples = append(r.tuples, t)
 	r.primary.insert(h, pos)
 	// Maintain every published secondary index so probes issued after
@@ -136,7 +158,9 @@ func (r *Relation) store(h uint64, t value.Tuple) {
 // insertion order. Published secondary indexes are patched in place —
 // only the removed tuple's entry and the moved tuple's position change —
 // so incremental churn keeps its indexes instead of rebuilding them per
-// mutation. Frozen relations reject Remove.
+// mutation. Frozen relations reject Remove; source-backed relations
+// materialize their source first (segments are immutable), so the first
+// deletion from a disk-backed relation pays a full promotion to memory.
 func (r *Relation) Remove(t value.Tuple) (bool, error) {
 	if r.frozen {
 		return false, fmt.Errorf("relation %s: remove from frozen relation", r.name)
@@ -145,10 +169,13 @@ func (r *Relation) Remove(t value.Tuple) (bool, error) {
 		return false, fmt.Errorf("relation %s: removing arity-%d tuple from arity-%d relation", r.name, len(t), r.arity)
 	}
 	h := t.Hash()
-	pos := r.primary.lookup(r.tuples, t, h)
+	pos := r.primary.lookup(r, t, h)
 	if pos < 0 {
 		return false, nil
 	}
+	// materialize keeps positions stable, so pos remains valid after the
+	// source (if any) is promoted into the overlay.
+	r.materialize()
 	removed := r.tuples[pos]
 	last := len(r.tuples) - 1
 	r.primary.remove(h, pos)
@@ -185,28 +212,108 @@ func (r *Relation) Contains(t value.Tuple) bool {
 	if len(t) != r.arity {
 		return false
 	}
-	return r.primary.lookup(r.tuples, t, t.Hash()) >= 0
+	return r.primary.lookup(r, t, t.Hash()) >= 0
 }
 
-// Tuples returns the underlying tuple slice in insertion order. The
-// returned slice must not be mutated.
-func (r *Relation) Tuples() []value.Tuple { return r.tuples }
+// Tuples returns the tuples in position order. For in-memory relations
+// this is the underlying slice; source-backed relations materialize it
+// (cached when frozen). The returned slice must not be mutated. Hot
+// paths should prefer Scan, which streams without materializing.
+func (r *Relation) Tuples() []value.Tuple {
+	if r.src == nil {
+		return r.tuples
+	}
+	if !r.frozen {
+		return r.materialized()
+	}
+	if p := r.mat.Load(); p != nil {
+		return *p
+	}
+	r.buildMu.Lock()
+	defer r.buildMu.Unlock()
+	if p := r.mat.Load(); p != nil {
+		return *p
+	}
+	all := r.materialized()
+	r.mat.Store(&all)
+	return all
+}
 
-// At returns the tuple at insertion position i.
-func (r *Relation) At(i int) value.Tuple { return r.tuples[i] }
+// materialized builds the full position-ordered tuple slice.
+func (r *Relation) materialized() []value.Tuple {
+	all := make([]value.Tuple, 0, r.Len())
+	r.src.Scan(0, r.nsrc, func(_ int, t value.Tuple) bool {
+		all = append(all, t)
+		return true
+	})
+	return append(all, r.tuples...)
+}
+
+// At returns the tuple at position i.
+func (r *Relation) At(i int) value.Tuple {
+	if i < r.nsrc {
+		return r.src.At(i)
+	}
+	return r.tuples[i-r.nsrc]
+}
+
+// hashAt returns the stored hash of the tuple at position i, reading it
+// from source metadata (no tuple decode) when i is source-resident.
+func (r *Relation) hashAt(i int) uint64 {
+	if i < r.nsrc {
+		return r.src.HashAt(i)
+	}
+	return r.tuples[i-r.nsrc].Hash()
+}
+
+// Scan streams positions [lo, hi) in order (hi = -1 means Len) without
+// materializing source-backed tuples; fn returning false stops the scan
+// and makes Scan report false. This is the engine's bulk read path: the
+// full-scan join step, index construction, grouping, and snapshot
+// writing all iterate through it.
+func (r *Relation) Scan(lo, hi int, fn func(pos int, t value.Tuple) bool) bool {
+	if hi < 0 || hi > r.Len() {
+		hi = r.Len()
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo < r.nsrc {
+		shi := hi
+		if shi > r.nsrc {
+			shi = r.nsrc
+		}
+		if !r.src.Scan(lo, shi, fn) {
+			return false
+		}
+		lo = r.nsrc
+	}
+	for i := lo; i < hi; i++ {
+		if !fn(i, r.tuples[i-r.nsrc]) {
+			return false
+		}
+	}
+	return true
+}
 
 // Sorted returns a new slice of the tuples in canonical order.
 func (r *Relation) Sorted() []value.Tuple {
-	out := make([]value.Tuple, len(r.tuples))
-	copy(out, r.tuples)
+	out := make([]value.Tuple, 0, r.Len())
+	r.Scan(0, -1, func(_ int, t value.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 
-// Clone returns a deep-enough copy: tuple slices are shared (tuples are
-// immutable by convention) but the set structure is independent.
+// Clone returns a deep-enough copy: tuple storage is shared (tuples are
+// immutable by convention, sources by construction) but the set
+// structure is independent.
 func (r *Relation) Clone() *Relation {
 	c := New(r.name, r.arity)
+	c.src = r.src
+	c.nsrc = r.nsrc
 	c.tuples = append(c.tuples, r.tuples...)
 	c.primary = r.primary.clone()
 	return c
@@ -221,15 +328,12 @@ func (r *Relation) Rename(name string) *Relation {
 
 // Equal reports set equality with s (names are ignored).
 func (r *Relation) Equal(s *Relation) bool {
-	if r.arity != s.arity || len(r.tuples) != len(s.tuples) {
+	if r.arity != s.arity || r.Len() != s.Len() {
 		return false
 	}
-	for _, t := range r.tuples {
-		if s.primary.lookup(s.tuples, t, t.Hash()) < 0 {
-			return false
-		}
-	}
-	return true
+	return r.Scan(0, -1, func(_ int, t value.Tuple) bool {
+		return s.primary.lookup(s, t, t.Hash()) >= 0
+	})
 }
 
 // UnionInto inserts every tuple of s into r, reporting how many were new.
@@ -241,36 +345,41 @@ func (r *Relation) UnionInto(s *Relation) (int, error) {
 		return 0, fmt.Errorf("relation %s: union with arity-%d relation %s", r.name, s.arity, s.name)
 	}
 	added := 0
-	for _, t := range s.tuples {
+	var ierr error
+	s.Scan(0, -1, func(_ int, t value.Tuple) bool {
 		ok, err := r.Insert(t)
 		if err != nil {
-			return added, err
+			ierr = err
+			return false
 		}
 		if ok {
 			added++
 		}
-	}
-	return added, nil
+		return true
+	})
+	return added, ierr
 }
 
 // Project returns a new relation containing the projection of r onto the
 // given 0-based columns (duplicates collapse).
 func (r *Relation) Project(name string, cols []int) *Relation {
 	out := New(name, len(cols))
-	for _, t := range r.tuples {
+	r.Scan(0, -1, func(_ int, t value.Tuple) bool {
 		out.MustInsert(t.Project(cols))
-	}
+		return true
+	})
 	return out
 }
 
 // Filter returns a new relation with the tuples satisfying keep.
 func (r *Relation) Filter(name string, keep func(value.Tuple) bool) *Relation {
 	out := New(name, r.arity)
-	for _, t := range r.tuples {
+	r.Scan(0, -1, func(_ int, t value.Tuple) bool {
 		if keep(t) {
 			out.MustInsert(t)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -295,12 +404,15 @@ func (r *Relation) String() string {
 // the sorted 64-bit tuple hashes, seeded with the cardinality (so an
 // empty relation differs from a 0-arity relation containing the empty
 // tuple). Set-equal relations have equal fingerprints; unequal sets
-// collide only with the ~2^-64 probability of the underlying hash. Used
-// to deduplicate enumerated answers.
+// collide only with the ~2^-64 probability of the underlying hash.
+// Source-backed relations read the hashes from source metadata without
+// decoding any tuple, so engines agree byte-for-byte at metadata cost.
+// Used to deduplicate enumerated answers.
 func (r *Relation) Fingerprint() string {
-	hs := make([]uint64, len(r.tuples))
-	for i, t := range r.tuples {
-		hs[i] = t.Hash()
+	n := r.Len()
+	hs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		hs[i] = r.hashAt(i)
 	}
 	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
 	h := value.SetHashSeed(len(hs))
@@ -311,16 +423,17 @@ func (r *Relation) Fingerprint() string {
 }
 
 // DeepClone rebuilds the relation from scratch: unlike Clone, the
-// result shares no internal state (indexes, hash table) with r, so it is
-// safe to hand to another goroutine. (An unfrozen Relation is not safe
-// for concurrent use because secondary indexes build lazily on first
-// probe; Freeze is the cheaper alternative when the relation no longer
-// needs to change.)
+// result shares no internal state (indexes, hash table, tuple source)
+// with r, so it is safe to hand to another goroutine and is always
+// purely in-memory. (An unfrozen Relation is not safe for concurrent
+// use because secondary indexes build lazily on first probe; Freeze is
+// the cheaper alternative when the relation no longer needs to change.)
 func (r *Relation) DeepClone() *Relation {
 	c := New(r.name, r.arity)
-	for _, t := range r.tuples {
+	r.Scan(0, -1, func(_ int, t value.Tuple) bool {
 		c.MustInsert(t.Clone())
-	}
+		return true
+	})
 	return c
 }
 

@@ -44,9 +44,12 @@ type tableEntry struct {
 
 const tableMinSize = 8
 
-// lookup returns the position of the tuple equal to t (hash h) in
-// tuples, or -1 when absent.
-func (tb *table) lookup(tuples []value.Tuple, t value.Tuple, h uint64) int {
+// lookup returns the position of the tuple equal to t (hash h) in r,
+// or -1 when absent. Positions resolve through r.At, so one table
+// serves both in-memory and source-backed tuple storage; the stored
+// 64-bit hash filters probe chains, so a tuple is only fetched (and,
+// for source-backed positions, decoded) on an exact hash match.
+func (tb *table) lookup(r *Relation, t value.Tuple, h uint64) int {
 	if len(tb.entries) == 0 {
 		return -1
 	}
@@ -58,7 +61,7 @@ func (tb *table) lookup(tuples []value.Tuple, t value.Tuple, h uint64) int {
 		}
 		if e.pos > 0 && e.hash == h {
 			p := int(e.pos) - 1
-			if tuples[p].Equal(t) {
+			if r.At(p).Equal(t) {
 				return p
 			}
 			primaryHashCollisions.Add(1)

@@ -1,0 +1,385 @@
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"idlog/internal/relation"
+	"idlog/internal/value"
+)
+
+// testTuples builds n mixed-sort tuples (symbol, int) with some shared
+// symbols so the dictionary has repeats to compress.
+func testTuples(n int) []value.Tuple {
+	out := make([]value.Tuple, n)
+	for i := range out {
+		out[i] = value.Tuple{value.Str(fmt.Sprintf("node%d", i%977)), value.Int(int64(i))}
+	}
+	return out
+}
+
+// writeSegment writes tuples into a fresh segment file and returns its
+// path.
+func writeSegment(t *testing.T, tuples []value.Tuple, arity int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rel.seg")
+	w, err := Create(path, "rel", arity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range tuples {
+		if _, err := w.Add(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	tuples := testTuples(3 * defaultBlockTuples / 2) // forces multiple blocks
+	path := writeSegment(t, tuples, 2)
+	s, err := Open(path, NewCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Name() != "rel" || s.Arity() != 2 {
+		t.Fatalf("Name=%q Arity=%d, want rel/2", s.Name(), s.Arity())
+	}
+	if s.Len() != len(tuples) {
+		t.Fatalf("Len=%d, want %d", s.Len(), len(tuples))
+	}
+	for i, want := range tuples {
+		if got := s.At(i); !got.Equal(want) {
+			t.Fatalf("At(%d)=%v, want %v", i, got, want)
+		}
+		if got := s.HashAt(i); got != want.Hash() {
+			t.Fatalf("HashAt(%d)=%x, want %x", i, got, want.Hash())
+		}
+	}
+	i := 0
+	ok := s.Scan(0, -1, func(pos int, tup value.Tuple) bool {
+		if pos != i || !tup.Equal(tuples[i]) {
+			t.Fatalf("Scan pos %d got (%d, %v)", i, pos, tup)
+		}
+		i++
+		return true
+	})
+	if !ok || i != len(tuples) {
+		t.Fatalf("Scan visited %d tuples (ok=%v), want %d", i, ok, len(tuples))
+	}
+	// Partial scan with early stop.
+	seen := 0
+	if s.Scan(10, 20, func(pos int, tup value.Tuple) bool {
+		seen++
+		return seen < 5
+	}) {
+		t.Fatal("early-stopped Scan reported completion")
+	}
+	if seen != 5 {
+		t.Fatalf("early-stopped Scan saw %d tuples, want 5", seen)
+	}
+}
+
+func TestWriterDeduplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.seg")
+	w, err := Create(path, "dup", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates both inside the in-flight block and across a flushed
+	// block boundary (read-back path).
+	for i := 0; i < 2*defaultBlockTuples; i++ {
+		added, err := w.Add(value.Ints(int64(i)))
+		if err != nil || !added {
+			t.Fatalf("Add(%d) = %v, %v", i, added, err)
+		}
+	}
+	for _, n := range []int64{0, 5, int64(defaultBlockTuples), int64(2*defaultBlockTuples - 1)} {
+		added, err := w.Add(value.Ints(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added {
+			t.Fatalf("duplicate %d was added", n)
+		}
+	}
+	if w.Len() != 2*defaultBlockTuples {
+		t.Fatalf("Len=%d, want %d", w.Len(), 2*defaultBlockTuples)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 2*defaultBlockTuples {
+		t.Fatalf("reopened Len=%d, want %d", s.Len(), 2*defaultBlockTuples)
+	}
+}
+
+func TestStoredRelationMatchesMemory(t *testing.T) {
+	tuples := testTuples(5000)
+	mem := relation.New("rel", 2)
+	for _, tup := range tuples {
+		mem.MustInsert(tup)
+	}
+	path := writeSegment(t, tuples, 2)
+	s, err := Open(path, NewCache(1<<18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	disk := relation.NewStored("rel", 2, s)
+	if disk.Len() != mem.Len() {
+		t.Fatalf("disk Len=%d, mem Len=%d", disk.Len(), mem.Len())
+	}
+	if got, want := disk.Fingerprint(), mem.Fingerprint(); got != want {
+		t.Fatalf("fingerprints differ: disk %s, mem %s", got, want)
+	}
+	if !disk.Equal(mem) || !mem.Equal(disk) {
+		t.Fatal("disk and mem relations not set-equal")
+	}
+	for _, tup := range tuples[:100] {
+		if !disk.Contains(tup) {
+			t.Fatalf("disk missing %v", tup)
+		}
+	}
+	if disk.Contains(value.Tuple{value.Str("absent"), value.Int(-1)}) {
+		t.Fatal("disk contains a tuple never added")
+	}
+	// Probes through the shared secondary-index machinery.
+	key := value.Tuple{value.Str("node7")}
+	dp := disk.ProbeTuples([]int{0}, key)
+	mp := mem.ProbeTuples([]int{0}, key)
+	if len(dp) != len(mp) || len(dp) == 0 {
+		t.Fatalf("probe sizes differ: disk %d, mem %d", len(dp), len(mp))
+	}
+	// Overlay inserts land on top of the disk base; fingerprints must
+	// track the mem twin.
+	extra := value.Tuple{value.Str("extra"), value.Int(1 << 40)}
+	if _, err := disk.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	mem.MustInsert(extra)
+	if got, want := disk.Fingerprint(), mem.Fingerprint(); got != want {
+		t.Fatalf("fingerprints differ after overlay insert: disk %s, mem %s", got, want)
+	}
+	// Remove promotes the source and must still agree.
+	victim := tuples[1234]
+	if ok, err := disk.Remove(victim); err != nil || !ok {
+		t.Fatalf("disk Remove = %v, %v", ok, err)
+	}
+	if ok, err := mem.Remove(victim); err != nil || !ok {
+		t.Fatalf("mem Remove = %v, %v", ok, err)
+	}
+	if got, want := disk.Fingerprint(), mem.Fingerprint(); got != want {
+		t.Fatalf("fingerprints differ after Remove: disk %s, mem %s", got, want)
+	}
+	if disk.SourceLen() != 0 {
+		t.Fatalf("SourceLen=%d after Remove, want 0 (promoted)", disk.SourceLen())
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"empty.seg": nil,
+		"short.seg": []byte("IDLOGSG1"),
+		"junk.seg":  []byte("this is definitely not a segment file, but it is long enough to parse"),
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path, nil); !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("%s: Open = %v, want ErrCorruptSegment", name, err)
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	tuples := testTuples(100)
+	path := writeSegment(t, tuples, 2)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header field corruption: flip a byte inside the name length area.
+	flip := func(off int) string {
+		bad := append([]byte(nil), orig...)
+		bad[off] ^= 0xff
+		p := filepath.Join(t.TempDir(), "bad.seg")
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := Open(flip(9), nil); !errors.Is(err, ErrCorruptSegment) {
+		t.Fatalf("header corruption: Open = %v, want ErrCorruptSegment", err)
+	}
+	// Footer corruption (the trailer offset points at it; flip a byte
+	// near the end of the footer body).
+	if _, err := Open(flip(len(orig)-trailerLen-8), nil); !errors.Is(err, ErrCorruptSegment) {
+		t.Fatalf("footer corruption: Open = %v, want ErrCorruptSegment", err)
+	}
+	// Data-block corruption is detected lazily, on first read of the
+	// damaged block.
+	blockOff := len(magicHead) + 20 // somewhere inside the first block
+	s, err := Open(flip(blockOff), nil)
+	if err != nil {
+		t.Fatalf("Open with damaged block failed eagerly: %v", err)
+	}
+	defer s.Close()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("reading a corrupted block did not panic")
+			}
+			err, ok := r.(error)
+			if !ok || !errors.Is(err, ErrCorruptSegment) {
+				t.Fatalf("panic %v, want ErrCorruptSegment", r)
+			}
+		}()
+		s.At(0)
+	}()
+}
+
+// TestHashRecompute rewrites the footer with wrong write-time symbol
+// IDs, simulating a process whose intern order diverged from the
+// writer's; Open must detect the mismatch and recompute correct hashes
+// from tuple data.
+func TestHashRecompute(t *testing.T) {
+	tuples := testTuples(300)
+	path := writeSegment(t, tuples, 2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	footOff := binary.LittleEndian.Uint64(data[len(data)-trailerLen : len(data)-8])
+	body := data[footOff : len(data)-trailerLen-4]
+
+	// Re-encode the footer with every dictionary writeID shifted, which
+	// is exactly what a different intern order looks like on disk.
+	fp := &sliceParser{data: body}
+	count := fp.uvarint("count", maxTuples)
+	nDict := fp.uvarint("dict", maxTuples)
+	var foot []byte
+	foot = binary.AppendUvarint(foot, count)
+	foot = binary.AppendUvarint(foot, nDict)
+	for i := uint64(0); i < nDict; i++ {
+		writeID := fp.uvarint("id", 1<<32-1)
+		name := fp.lenString("name", maxNameLen)
+		foot = binary.AppendUvarint(foot, writeID+1000)
+		foot = binary.AppendUvarint(foot, uint64(len(name)))
+		foot = append(foot, name...)
+	}
+	if fp.err != nil {
+		t.Fatal(fp.err)
+	}
+	foot = append(foot, fp.data...) // block index + hashes, unchanged
+	foot = binary.BigEndian.AppendUint32(foot, crc32.ChecksumIEEE(foot))
+	out := append(append([]byte(nil), data[:footOff]...), foot...)
+	out = binary.LittleEndian.AppendUint64(out, footOff)
+	out = append(out, magicTail...)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i, want := range tuples {
+		if got := s.HashAt(i); got != want.Hash() {
+			t.Fatalf("HashAt(%d)=%x after recompute, want %x", i, got, want.Hash())
+		}
+	}
+}
+
+func TestCacheEvictionAndCounters(t *testing.T) {
+	tuples := testTuples(4 * defaultBlockTuples)
+	path := writeSegment(t, tuples, 2)
+	small := NewCache(blockBytes(defaultBlockTuples, 2)) // room for ~1 block
+	s, err := Open(path, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Scan(0, -1, func(int, value.Tuple) bool { return true })
+	hits, misses := small.Stats()
+	if misses != 4 {
+		t.Fatalf("full scan: %d misses, want 4 (one per block)", misses)
+	}
+	if hits != 0 {
+		t.Fatalf("full scan: %d hits, want 0", hits)
+	}
+	if small.Blocks() > 2 {
+		t.Fatalf("%d blocks resident in a one-block cache", small.Blocks())
+	}
+	// A second scan through a big cache hits after the first pass.
+	big := NewCache(1 << 30)
+	s2, err := Open(path, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.Scan(0, -1, func(int, value.Tuple) bool { return true })
+	s2.Scan(0, -1, func(int, value.Tuple) bool { return true })
+	hits, misses = big.Stats()
+	if misses != 4 || hits != 4 {
+		t.Fatalf("two scans: hits=%d misses=%d, want 4/4", hits, misses)
+	}
+	s2.Close()
+	if big.Blocks() != 0 || big.Bytes() != 0 {
+		t.Fatalf("cache holds %d blocks / %d bytes after Close, want 0/0", big.Blocks(), big.Bytes())
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	tuples := testTuples(3 * defaultBlockTuples)
+	path := writeSegment(t, tuples, 2)
+	s, err := Open(path, NewCache(blockBytes(defaultBlockTuples, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rel := relation.NewStored("rel", 2, s).Freeze()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(tuples); i += 131 {
+				if !rel.Contains(tuples[i]) {
+					t.Errorf("goroutine %d: missing %v", g, tuples[i])
+					return
+				}
+				key := value.Tuple{tuples[i][0]}
+				if len(rel.Probe([]int{0}, key)) == 0 {
+					t.Errorf("goroutine %d: empty probe for %v", g, key)
+					return
+				}
+			}
+			n := 0
+			rel.Scan(0, -1, func(int, value.Tuple) bool { n++; return true })
+			if n != len(tuples) {
+				t.Errorf("goroutine %d: scan saw %d tuples, want %d", g, n, len(tuples))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

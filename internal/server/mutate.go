@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"idlog"
+	"idlog/internal/storage"
 	"idlog/internal/wal"
 )
 
@@ -31,12 +32,17 @@ import (
 func (s *Server) SetWAL(l *wal.Log) { s.wal = l }
 
 // OpenWAL is the full durable-startup recipe used by cmd/idlogd: load
-// the checkpoint snapshot <path>.snapshot into the base database when
-// one exists (superseding any -load seed installed earlier), open the
-// log at path — creating it, or truncating a torn tail left by a crash
-// — replay every intact entry, and arm logging for new mutations.
+// the checkpoint state into the base database when it exists
+// (superseding any -load seed installed earlier), open the log at path
+// — creating it, or truncating a torn tail left by a crash — replay
+// every intact entry, and arm logging for new mutations.
+//
+// The checkpoint lives in <path>.snapshot with the in-memory engine, or
+// in the disk engine's segment data directory (Config.Engine.Dir) —
+// where the base EDB then stays disk-resident behind the block cache,
+// with only the replayed WAL tail held in memory.
 func (s *Server) OpenWAL(path string) error {
-	db, err := idlog.LoadSnapshot(path + ".snapshot")
+	db, err := s.loadCheckpoint(path)
 	switch {
 	case err == nil:
 		s.SetBaseDB(db)
@@ -58,6 +64,46 @@ func (s *Server) OpenWAL(path string) error {
 	s.SetWAL(l)
 	s.repl.init(l.BaseLSN(), recs)
 	return nil
+}
+
+// LoadDiskBase installs the disk engine's data directory as the base
+// database; a missing directory (first boot, nothing bulk-loaded yet)
+// is not an error. cmd/idlogd calls it when the disk engine runs
+// without a WAL; with one, OpenWAL performs the same load plus tail
+// replay.
+func (s *Server) LoadDiskBase() error {
+	if !s.cfg.Engine.Disk() {
+		return nil
+	}
+	db, err := storage.OpenDir(s.cfg.Engine.Dir, s.cfg.Engine.Cache())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	s.SetBaseDB(db)
+	return nil
+}
+
+// loadCheckpoint reads the last checkpoint for the configured engine.
+func (s *Server) loadCheckpoint(walPath string) (*idlog.Database, error) {
+	if s.cfg.Engine.Disk() {
+		return storage.OpenDir(s.cfg.Engine.Dir, s.cfg.Engine.Cache())
+	}
+	return idlog.LoadSnapshot(walPath + ".snapshot")
+}
+
+// saveCheckpoint durably writes the base snapshot for the configured
+// engine: a new segment-file generation in the data directory (disk),
+// or a single <wal>.snapshot file (mem). Both are atomic at the
+// manifest/rename level, so a crash mid-checkpoint keeps the previous
+// one intact.
+func (s *Server) saveCheckpoint(db *idlog.Database) error {
+	if s.cfg.Engine.Disk() {
+		return storage.WriteDir(s.cfg.Engine.Dir, db)
+	}
+	return idlog.SaveSnapshot(s.wal.Path()+".snapshot", db)
 }
 
 // ErrWALDegraded marks a server whose WAL refused an append (fsync
@@ -269,7 +315,7 @@ func (s *Server) Checkpoint() error {
 	}
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
-	if err := idlog.SaveSnapshot(s.wal.Path()+".snapshot", s.base.db.Load()); err != nil {
+	if err := s.saveCheckpoint(s.base.db.Load()); err != nil {
 		return fmt.Errorf("checkpoint: snapshot: %w", err)
 	}
 	var recs []wal.Record

@@ -15,6 +15,7 @@ import (
 
 	"idlog"
 	"idlog/internal/fault"
+	"idlog/internal/storage"
 	"idlog/internal/wal"
 )
 
@@ -73,6 +74,11 @@ type Config struct {
 	// Faults, when set, arms chaos fault injection on the replication
 	// send path (see internal/fault). Nil means no injection.
 	Faults *fault.Registry
+	// Engine selects the storage engine for the base database. The zero
+	// value is the in-memory engine; with EngineDisk, OpenWAL loads the
+	// base EDB from segment files in Engine.Dir and Checkpoint writes a
+	// new segment generation there instead of a <wal>.snapshot file.
+	Engine storage.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -829,7 +835,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			gauges["idlogd_replication_ready"] = 0
 		}
 	}
+	edb := 0
+	base := s.base.db.Load()
+	for _, name := range base.Names() {
+		edb += base.Relation(name).Len()
+	}
+	gauges["idlogd_edb_tuples"] = float64(edb)
 	s.metrics.render(&b, gauges)
+	if s.cfg.Engine.Disk() {
+		hits, misses := s.cfg.Engine.Cache().Stats()
+		writeCounter := func(name, help string, v uint64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		writeCounter("idlogd_storage_cache_hits_total", "Segment block reads served from the decoded-block cache.", hits)
+		writeCounter("idlogd_storage_cache_misses_total", "Segment block reads that decoded from disk.", misses)
+		fmt.Fprintf(&b, "# HELP idlogd_storage_cache_bytes Decoded segment blocks resident in the cache.\n# TYPE idlogd_storage_cache_bytes gauge\nidlogd_storage_cache_bytes %d\n",
+			s.cfg.Engine.Cache().Bytes())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
 }

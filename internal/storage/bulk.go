@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"idlog/internal/ast"
+	"idlog/internal/parser"
+	"idlog/internal/segment"
+	"idlog/internal/value"
+)
+
+// BulkStats summarizes a bulk load.
+type BulkStats struct {
+	// Relations is the number of distinct predicates loaded.
+	Relations int
+	// Tuples is the number of distinct facts written.
+	Tuples int64
+	// Duplicates counts facts that repeated an earlier one.
+	Duplicates int64
+}
+
+// BulkLoad streams ground facts in concrete syntax ("edge(a, b).")
+// from src directly into segment files under dir, producing a
+// disk-engine data directory ready for OpenDir. The whole pipeline is
+// streaming: statements are split and parsed one at a time and tuples
+// go straight to the per-predicate segment writers, so resident memory
+// is bounded by per-tuple metadata (dedup hashes), never the decoded
+// relations — this is the path for EDBs that do not fit in RAM.
+//
+// dir must not already contain a manifest (bulk load creates a
+// database, it does not merge into one). Facts may arrive in any
+// predicate order; %-comments and quoted constants are handled as in
+// the regular parser, and non-fact clauses are rejected.
+func BulkLoad(dir string, src io.Reader) (BulkStats, error) {
+	var stats BulkStats
+	if DirExists(dir) {
+		return stats, fmt.Errorf("storage: %s already holds a database (bulk load needs a fresh directory)", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return stats, err
+	}
+	type wstate struct {
+		w    *segment.Writer
+		file string
+	}
+	writers := make(map[string]*wstate)
+	fail := func(err error) (BulkStats, error) {
+		for _, ws := range writers {
+			ws.w.Abort()
+		}
+		return stats, err
+	}
+	gen := nextGen(dir)
+	tuple := make(value.Tuple, 0, 8)
+	err := splitStatements(src, func(stmt string) error {
+		c, err := parser.Clause(stmt)
+		if err != nil {
+			return err
+		}
+		if !c.IsFact() {
+			return fmt.Errorf("bulk load accepts only ground facts, got %q", strings.TrimSpace(stmt))
+		}
+		tuple = tuple[:0]
+		for _, a := range c.Head.Args {
+			cst, ok := a.(ast.Const)
+			if !ok {
+				return fmt.Errorf("fact %s has non-constant argument %s", c.Head.Pred, a)
+			}
+			tuple = append(tuple, cst.Val)
+		}
+		ws := writers[c.Head.Pred]
+		if ws == nil {
+			file := segFileName(gen, len(writers))
+			w, err := segment.Create(filepath.Join(dir, file+".tmp"), c.Head.Pred, len(tuple))
+			if err != nil {
+				return err
+			}
+			ws = &wstate{w: w, file: file}
+			writers[c.Head.Pred] = ws
+		}
+		added, err := ws.w.Add(tuple)
+		if err != nil {
+			return err
+		}
+		if added {
+			stats.Tuples++
+		} else {
+			stats.Duplicates++
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	names := make([]string, 0, len(writers))
+	for name := range writers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintln(&b, manifestMagic)
+	for _, name := range names {
+		ws := writers[name]
+		arity, count := wsMeta(ws.w)
+		if err := ws.w.Finish(); err != nil {
+			return fail(err)
+		}
+		if err := os.Rename(filepath.Join(dir, ws.file+".tmp"), filepath.Join(dir, ws.file)); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(&b, "%s %q %d %d\n", ws.file, name, arity, count)
+	}
+	stats.Relations = len(writers)
+	mtmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(mtmp, []byte(b.String()), 0o644); err != nil {
+		return stats, err
+	}
+	return stats, os.Rename(mtmp, filepath.Join(dir, manifestName))
+}
+
+// wsMeta snapshots a writer's arity and count before Finish seals it.
+func wsMeta(w *segment.Writer) (arity, count int) {
+	return w.Arity(), w.Len()
+}
+
+// BulkLoadFile is BulkLoad over a facts file.
+func BulkLoadFile(dir, factsPath string) (BulkStats, error) {
+	f, err := os.Open(factsPath)
+	if err != nil {
+		return BulkStats{}, err
+	}
+	defer f.Close()
+	return BulkLoad(dir, bufio.NewReaderSize(f, 1<<20))
+}
+
+// splitStatements streams src statement by statement, calling fn with
+// each "…." chunk (terminator included). It honors the lexer's surface
+// syntax — '%' starts a line comment, single quotes delimit constants
+// with '' as the escaped quote — so dots inside comments or quoted
+// constants never split a statement. Memory is one statement at a time.
+func splitStatements(src io.Reader, fn func(stmt string) error) error {
+	br := bufio.NewReaderSize(src, 1<<20)
+	var stmt []byte
+	inComment, inQuote := false, false
+	flush := func() error {
+		s := strings.TrimSpace(string(stmt))
+		stmt = stmt[:0]
+		if s == "" {
+			return nil
+		}
+		return fn(s)
+	}
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			if strings.TrimSpace(string(stmt)) != "" {
+				return fmt.Errorf("storage: bulk load: trailing input without '.': %q", strings.TrimSpace(string(stmt)))
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+				stmt = append(stmt, b)
+			}
+			continue
+		case inQuote:
+			stmt = append(stmt, b)
+			if b == '\'' {
+				// A doubled quote stays inside the constant.
+				if next, err := br.Peek(1); err == nil && next[0] == '\'' {
+					br.ReadByte()
+					stmt = append(stmt, '\'')
+				} else {
+					inQuote = false
+				}
+			}
+			continue
+		case b == '%':
+			inComment = true
+			continue
+		case b == '\'':
+			inQuote = true
+			stmt = append(stmt, b)
+			continue
+		case b == '.':
+			stmt = append(stmt, b)
+			if err := flush(); err != nil {
+				return err
+			}
+			continue
+		default:
+			stmt = append(stmt, b)
+		}
+	}
+}

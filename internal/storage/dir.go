@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"idlog/internal/core"
+	"idlog/internal/relation"
+	"idlog/internal/segment"
+	"idlog/internal/value"
+)
+
+// Disk-engine data directory layout:
+//
+//	<dir>/MANIFEST            — text index, written last (tmp+rename)
+//	<dir>/g000001-r0000.seg   — one segment file per relation
+//
+// The manifest's first line is the format tag; each further line names
+// one segment: file, quoted relation name, arity, tuple count. Segment
+// files are generation-numbered: a checkpoint writes a complete new
+// generation, atomically swings the manifest to it, and only then
+// removes older generations — a crash at any point leaves the previous
+// manifest pointing at intact files. Already-open segments of the old
+// generation keep working after removal (POSIX unlink semantics), and
+// their file descriptors release when the old database is garbage
+// collected (os.File finalizers).
+const manifestName = "MANIFEST"
+
+const manifestMagic = "IDLOGDIR1"
+
+// segFileName names relation index i of generation gen.
+func segFileName(gen, i int) string {
+	return fmt.Sprintf("g%06d-r%04d.seg", gen, i)
+}
+
+// nextGen scans dir for existing segment generations and returns the
+// next unused one.
+func nextGen(dir string) int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 1
+	}
+	max := 0
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "g") || !strings.Contains(name, "-r") {
+			continue
+		}
+		if n, err := strconv.Atoi(name[1:strings.Index(name, "-r")]); err == nil && n > max {
+			max = n
+		}
+	}
+	return max + 1
+}
+
+// WriteDir checkpoints db into dir as a fresh segment generation,
+// streaming each relation through a segment writer (memory stays
+// bounded by per-tuple metadata, never the decoded relation), then
+// atomically replaces the manifest and removes older generations.
+func WriteDir(dir string, db *core.Database) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	gen := nextGen(dir)
+	names := db.Names()
+	sort.Strings(names)
+	type entry struct {
+		file  string
+		name  string
+		arity int
+		count int
+	}
+	entries := make([]entry, 0, len(names))
+	for i, name := range names {
+		rel := db.Relation(name)
+		file := segFileName(gen, i)
+		tmp := filepath.Join(dir, file+".tmp")
+		w, err := segment.Create(tmp, name, rel.Arity())
+		if err != nil {
+			return err
+		}
+		var werr error
+		rel.Scan(0, -1, func(_ int, t value.Tuple) bool {
+			werr = w.AddUnique(t)
+			return werr == nil
+		})
+		if werr != nil {
+			w.Abort()
+			return werr
+		}
+		if err := w.Finish(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, filepath.Join(dir, file)); err != nil {
+			return err
+		}
+		entries = append(entries, entry{file: file, name: name, arity: rel.Arity(), count: rel.Len()})
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, manifestMagic)
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%s %q %d %d\n", e.file, e.name, e.arity, e.count)
+	}
+	mtmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(mtmp, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(mtmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	// The new generation is live; sweep older ones (and stray temp
+	// files from interrupted checkpoints).
+	if ents, err := os.ReadDir(dir); err == nil {
+		prefix := fmt.Sprintf("g%06d-", gen)
+		for _, ent := range ents {
+			name := ent.Name()
+			stale := (strings.HasSuffix(name, ".seg") || strings.HasSuffix(name, ".tmp")) &&
+				strings.HasPrefix(name, "g") && !strings.HasPrefix(name, prefix)
+			if stale {
+				os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+	return nil
+}
+
+// OpenDir opens the segment generation the manifest points at and
+// returns a database of disk-backed relations (unfrozen, so a WAL tail
+// can replay on top; callers freeze before sharing, as with any load
+// path). Segments share cache; a nil cache uses the process default.
+// A missing manifest returns an error satisfying os.IsNotExist.
+func OpenDir(dir string, cache *segment.Cache) (*core.Database, error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || sc.Text() != manifestMagic {
+		return nil, corruptf("%s: bad manifest header", dir)
+	}
+	db := core.NewDatabase()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var file, qname string
+		var arity, count int
+		if _, err := fmt.Sscanf(line, "%s %q %d %d", &file, &qname, &arity, &count); err != nil {
+			return nil, corruptf("%s: manifest line %q: %v", dir, line, err)
+		}
+		seg, err := segment.Open(filepath.Join(dir, file), cache)
+		if err != nil {
+			return nil, fmt.Errorf("storage: %s: %w", dir, err)
+		}
+		if seg.Name() != qname || seg.Arity() != arity || seg.Len() != count {
+			seg.Close()
+			return nil, corruptf("%s: segment %s is %s/%d (%d tuples), manifest says %s/%d (%d)",
+				dir, file, seg.Name(), seg.Arity(), seg.Len(), qname, arity, count)
+		}
+		db.SetRelation(qname, relation.NewStored(qname, arity, seg))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// DirExists reports whether dir holds a storage manifest.
+func DirExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}

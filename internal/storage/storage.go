@@ -51,6 +51,14 @@ const (
 // maxStringLen bounds decoded string lengths as a corruption guard.
 const maxStringLen = 1 << 20
 
+// maxRelations and maxSnapshotTuples clamp the counts a snapshot
+// header can claim; a hostile or bit-rotted header must produce a
+// typed error, not an attempted allocation or an unbounded loop.
+const (
+	maxRelations      = 1 << 24
+	maxSnapshotTuples = 1<<31 - 2
+)
+
 // ErrCorruptSnapshot reports a snapshot that is corrupted, truncated,
 // or not a snapshot at all. Every decode failure wraps it, so callers
 // test with errors.Is(err, storage.ErrCorruptSnapshot).
@@ -188,6 +196,9 @@ func Read(r io.Reader) (*core.Database, error) {
 	if err != nil {
 		return nil, corruptf("relation count: %v", err)
 	}
+	if nRels > maxRelations {
+		return nil, corruptf("implausible relation count %d", nRels)
+	}
 	cr := &crcReader{r: br}
 	db := core.NewDatabase()
 	for ri := uint64(0); ri < nRels; ri++ {
@@ -206,6 +217,9 @@ func Read(r io.Reader) (*core.Database, error) {
 		nTuples, err := binary.ReadUvarint(cr)
 		if err != nil {
 			return nil, corruptf("%s tuple count: %v", name, err)
+		}
+		if nTuples > maxSnapshotTuples {
+			return nil, corruptf("%s: implausible tuple count %d", name, nTuples)
 		}
 		rel := relation.New(name, int(arity))
 		for ti := uint64(0); ti < nTuples; ti++ {
