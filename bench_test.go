@@ -382,3 +382,73 @@ func BenchmarkE10DeterministicCounting(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE17PreparedPointQuery: the E17 prepared-query kernel via the
+// public API — Program.Query re-parses the goal and re-plans every
+// stratum per call, while a Program.Prepare handle reuses one compiled
+// wrapper and a plan cache across calls.
+func BenchmarkE17PreparedPointQuery(b *testing.B) {
+	src := "l0(X, Y) :- e(X, Y).\n"
+	for i := 1; i < 32; i++ {
+		src += fmt.Sprintf("l%d(X, Y) :- l%d(X, Z), e(Z, Y).\n", i, i-1)
+	}
+	prog := mustProg(b, src)
+	db := bench.ChainDB(12)
+	const goal = "l31(0, Y)"
+	b.Run("query", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.Query(db, goal); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		pq, err := prog.Prepare(goal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pq.Query(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE17StreamingJoin: the analysis-ordered adversarial join,
+// streaming executor off vs on — the allocation column is the headline
+// (the legacy walk allocates a match closure per binding per literal).
+func BenchmarkE17StreamingJoin(b *testing.B) {
+	prog := mustProg(b, `hit(X, Z) :- big1(X, Y), big2(Y, Z), sel(Z).`)
+	const n, fan = 4096, 128
+	db := NewDatabase()
+	for i := 0; i < n; i++ {
+		_ = db.Add("big1", Ints(int64(i), int64(i%(n/fan))))
+	}
+	for j := 0; j < n/fan; j++ {
+		for k := 0; k < fan; k++ {
+			_ = db.Add("big2", Ints(int64(j), int64(1_000_000+k)))
+		}
+	}
+	_ = db.Add("sel", Ints(int64(1_000_000+fan-1)))
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{"legacy", []Option{WithStreaming(false)}},
+		{"streaming", nil},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := append([]Option{WithPlanner(false)}, mode.opts...)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Eval(db, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -23,6 +23,8 @@
 //	-plan            print the join plans the engine would use and exit
 //	-planner=false   disable the cost-based join planner (bodies run in
 //	                 the analysis safety order; same model, for ablation)
+//	-stream=false    disable the streaming get-next executor (bodies run
+//	                 by the legacy recursive walk; same model, for ablation)
 //	-partial         on a tripped budget/timeout, still print the partial model
 //	-optimize p      print the §4-optimized program w.r.t. p and exit
 //	-show            print the (choice-translated) program before running
@@ -132,6 +134,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print evaluation statistics")
 	plan := flag.Bool("plan", false, "print the join plans the engine would use and exit")
 	planner := flag.Bool("planner", true, "enable the cost-based join planner")
+	stream := flag.Bool("stream", true, "enable the streaming get-next executor")
 	interactive := flag.Bool("i", false, "start an interactive session (REPL)")
 	walPath := flag.String("wal", "", "durable write-ahead log for the interactive session (with -i)")
 	explain := flag.String("explain", "", "print the derivation tree of a ground atom, e.g. 'tc(a, c)'")
@@ -223,6 +226,7 @@ func main() {
 			maxDerivations: *maxDerivations,
 			parallel:       *parallel,
 			noPlanner:      !*planner,
+			noStream:       !*stream,
 		}, db, log, preload...)
 		return
 	}
@@ -311,6 +315,9 @@ func main() {
 	}
 	if !*planner {
 		opts = append(opts, idlog.WithPlanner(false))
+	}
+	if !*stream {
+		opts = append(opts, idlog.WithStreaming(false))
 	}
 
 	// Ctrl-C cancels the evaluation at the next guard checkpoint.

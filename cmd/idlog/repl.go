@@ -11,6 +11,7 @@ import (
 
 	"idlog"
 	"idlog/internal/ast"
+	"idlog/internal/guard"
 	"idlog/internal/parser"
 	"idlog/internal/wal"
 )
@@ -24,6 +25,7 @@ type replLimits struct {
 	maxDerivations int
 	parallel       int
 	noPlanner      bool
+	noStream       bool
 }
 
 // options renders the limits as engine options.
@@ -43,6 +45,9 @@ func (l replLimits) options() []idlog.Option {
 	}
 	if l.noPlanner {
 		opts = append(opts, idlog.WithPlanner(false))
+	}
+	if l.noStream {
+		opts = append(opts, idlog.WithStreaming(false))
 	}
 	return opts
 }
@@ -66,8 +71,12 @@ func (l replLimits) String() string {
 	if l.noPlanner {
 		pl = "off"
 	}
-	return fmt.Sprintf("limits: timeout=%s, max-tuples=%s, max-derivations=%s, parallel=%s, planner=%s",
-		t, show(l.maxTuples), show(l.maxDerivations), p, pl)
+	st := "on"
+	if l.noStream {
+		st = "off"
+	}
+	return fmt.Sprintf("limits: timeout=%s, max-tuples=%s, max-derivations=%s, parallel=%s, planner=%s, stream=%s",
+		t, show(l.maxTuples), show(l.maxDerivations), p, pl, st)
 }
 
 // repl is the interactive session state. Clauses hold the session
@@ -104,7 +113,7 @@ const replHelp = `commands:
                                  timeout (duration), max-tuples,
                                  max-derivations (0 = off), parallel
                                  (worker goroutines, 1 = sequential),
-                                 planner (on/off)
+                                 planner (on/off), stream (on/off)
   :clear                         drop all session clauses
   :help                          this text
   :quit                          leave
@@ -299,6 +308,16 @@ func (s *repl) limitsCommand(args []string) {
 				fmt.Fprintln(s.out, "bad planner (on/off):", val)
 				return
 			}
+		case "stream":
+			switch val {
+			case "on", "true", "1":
+				next.noStream = false
+			case "off", "false", "0":
+				next.noStream = true
+			default:
+				fmt.Fprintln(s.out, "bad stream (on/off):", val)
+				return
+			}
 		default:
 			fmt.Fprintln(s.out, "unknown limit:", key)
 			return
@@ -380,7 +399,10 @@ func (s *repl) buildQuery(body string) (*idlog.Program, string, []ast.Var, error
 	body = strings.TrimSuffix(strings.TrimSpace(body), ".") + "."
 	wrapped, err := parser.Clause("query_wrapper_head :- " + body)
 	if err != nil {
-		return nil, "", nil, err
+		// Surface the typed engine error, not the bare parser error, so
+		// the REPL reports goal syntax problems the same way Query does.
+		return nil, "", nil, guard.WrapErr(guard.ParseError, "query", err,
+			fmt.Sprintf("goal %q", strings.TrimSuffix(body, ".")))
 	}
 	ansPred := "ans"
 	for taken := true; taken; {

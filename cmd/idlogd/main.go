@@ -53,6 +53,10 @@
 //	                      writing a new segment generation there.
 //	-data-dir dir         disk-engine data directory
 //	-cache-mb n           disk-engine block cache budget in MiB (default 64)
+//	-plan-cache           cache prepared goal queries and their stratum
+//	                      plans across requests (default true); answers
+//	                      are identical with it off — it is the
+//	                      performance escape hatch
 //	-pprof addr           serve net/http/pprof on a SEPARATE listener at
 //	                      addr (e.g. localhost:6060); empty disables. Kept
 //	                      off the query listener so profiling endpoints
@@ -145,9 +149,11 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	engine := fs.String("engine", "mem", "storage engine: mem (in-memory) or disk (segment files in -data-dir)")
 	dataDir := fs.String("data-dir", "", "disk-engine data directory (with -engine=disk)")
 	cacheMB := fs.Int("cache-mb", 64, "disk-engine block cache budget in MiB")
+	planCache := fs.Bool("plan-cache", true, "cache prepared goal queries and their stratum plans across requests")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	dc.server.NoPlanCache = !*planCache
 	kind, err := storage.ParseEngineKind(*engine)
 	if err != nil {
 		fmt.Fprintln(stderr, "idlogd:", err)

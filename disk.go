@@ -5,6 +5,7 @@ import (
 	"os"
 	"sync"
 
+	"idlog/internal/segment"
 	"idlog/internal/storage"
 )
 
@@ -27,6 +28,27 @@ type BulkLoadStats = storage.BulkStats
 func OpenDiskDatabase(dir string, cacheBytes int64) (*Database, error) {
 	e := storage.Engine{Kind: storage.EngineDisk, Dir: dir, CacheBytes: cacheBytes}
 	return storage.OpenDir(dir, e.Cache())
+}
+
+// SetDiskCacheBytes resizes the process-wide decoded-block cache shared
+// by every disk database opened without an explicit budget — the
+// library-level equivalent of the CLI's -cache-mb flag. It applies
+// immediately: shrinking below current residency evicts LRU blocks.
+// Callers that pass cacheBytes > 0 to OpenDiskDatabase get a private
+// cache and are unaffected. n must be positive; a separate per-open
+// budget of 0 keeps meaning "use this process default".
+func SetDiskCacheBytes(n int64) {
+	if n > 0 {
+		segment.DefaultCache().Resize(n)
+	}
+}
+
+// DiskCacheStats reports the process-default block cache's cumulative
+// hit/miss counters and current resident bytes.
+func DiskCacheStats() (hits, misses uint64, bytes int64) {
+	c := segment.DefaultCache()
+	hits, misses = c.Stats()
+	return hits, misses, c.Bytes()
 }
 
 // SaveDiskDatabase checkpoints db into dir as segment files, streaming

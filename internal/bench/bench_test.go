@@ -45,10 +45,14 @@ func TestQuickSuiteRuns(t *testing.T) {
 		E16Sizes:     []int{512},
 		E16CacheKBs:  []int{16, 1024},
 		E16Reps:      2,
+		E17Reps:      2,
+		E17Repeats:   3,
+		E17Rules:     []int{8},
+		E17JoinSizes: []int{256},
 	}
 	tables := Run(suite, "all")
-	if len(tables) != 15 {
-		t.Fatalf("ran %d experiments, want 15", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("ran %d experiments, want 16", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
@@ -66,7 +70,7 @@ func TestQuickSuiteRuns(t *testing.T) {
 			t.Errorf("%s render missing header: %q", tab.ID, out[:60])
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14", "E15", "E16"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14", "E15", "E16", "E17"} {
 		if !ids[id] {
 			t.Errorf("experiment %s missing", id)
 		}

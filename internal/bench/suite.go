@@ -69,6 +69,15 @@ type Suite struct {
 	E16Sizes    []int
 	E16CacheKBs []int
 	E16Reps     int
+	// E17Reps is the timed-rounds-per-cell sample for the streaming +
+	// plan-cache experiment; E17Repeats is the point-queries-per-round
+	// count for its prepared kernels, E17Rules their layered-rulebase
+	// sizes, and E17JoinSizes the adversarial-join scales for its
+	// streaming kernels.
+	E17Reps      int
+	E17Repeats   int
+	E17Rules     []int
+	E17JoinSizes []int
 }
 
 // Quick returns a suite sized to finish in a few seconds.
@@ -110,6 +119,10 @@ func Quick() Suite {
 		E16Sizes:     []int{50_000, 200_000},
 		E16CacheKBs:  []int{256, 4096, 65536},
 		E16Reps:      3,
+		E17Reps:      3,
+		E17Repeats:   25,
+		E17Rules:     []int{32, 64},
+		E17JoinSizes: []int{4096, 8192},
 	}
 }
 
@@ -152,9 +165,13 @@ func Full() Suite {
 		// The largest in-memory benchmark EDB is E15's 65536-key join
 		// (~130k tuples); 2M edges is ~15x that, and the full-scan
 		// kernel touches every one from disk.
-		E16Sizes:    []int{500_000, 2_000_000},
-		E16CacheKBs: []int{256, 4096, 65536},
-		E16Reps:     3,
+		E16Sizes:     []int{500_000, 2_000_000},
+		E16CacheKBs:  []int{256, 4096, 65536},
+		E16Reps:      3,
+		E17Reps:      5,
+		E17Repeats:   100,
+		E17Rules:     []int{64, 128},
+		E17JoinSizes: []int{16384, 32768},
 	}
 }
 
@@ -186,5 +203,6 @@ func Run(s Suite, only string) []*Table {
 	run("E14", func() *Table { return E14(s.E14Chain, s.E14Grid, s.E14Persons, s.E14Emp, s.E14PGraph) })
 	run("E15", func() *Table { return E15(s.E15Reps, s.E15JoinSizes, s.E15Chains) })
 	run("E16", func() *Table { return E16(s.E16Sizes, s.E16CacheKBs, s.E16Reps) })
+	run("E17", func() *Table { return E17(s.E17Reps, s.E17Repeats, s.E17Rules, s.E17JoinSizes) })
 	return out
 }

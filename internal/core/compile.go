@@ -52,7 +52,25 @@ type compiledLit struct {
 	// recursive marks positive ordinary literals over same-stratum
 	// predicates (the semi-naive delta positions).
 	recursive bool
+	// binds and checks drive the streaming executor's per-tuple match
+	// (iterator.go). binds lists the argBind positions whose slot some
+	// later literal or the head actually reads — dead binds (variables
+	// occurring exactly once) are projected away. checks pairs each
+	// argCheck position with the in-literal position that first binds
+	// its variable, so repeated-variable selections evaluate against
+	// the candidate tuple alone, with no environment round-trip; that
+	// is what lets the scan iterator filter during block refill. The
+	// legacy recursive walk ignores both and uses args (provenance
+	// capture needs every slot bound).
+	binds  []bindPos
+	checks []checkPair
 }
+
+// bindPos binds tuple position pos into environment slot slot.
+type bindPos struct{ pos, slot int }
+
+// checkPair requires the tuple values at pos and first to be equal.
+type checkPair struct{ pos, first int }
 
 type compiledClause struct {
 	src *analysis.OrderedClause
@@ -70,6 +88,10 @@ type compiledClause struct {
 	// headBuf is scratch space for candidate head tuples; the relation
 	// clones it on actual insertion (InsertShared).
 	headBuf value.Tuple
+	// iters is the streaming executor's per-literal cursor scratch,
+	// allocated lazily on the first streaming walk. Like the other
+	// scratch buffers it is single-threaded; clone() resets it.
+	iters []litIter
 }
 
 // compileClause translates an ordered clause into slot form. stratumPred
@@ -195,7 +217,55 @@ func compile(oc *analysis.OrderedClause, stratumPred func(string) bool, headBoun
 	}
 	cc.nslots = len(slots)
 	cc.headBuf = make(value.Tuple, len(cc.headArgs))
+	compileStreamPlan(cc, seed)
 	return cc, seed, nil
+}
+
+// compileStreamPlan computes the streaming executor's projection
+// pushdown: per literal, the live argBind positions and the
+// repeated-variable check pairs. A slot is live when some literal reads
+// it as argBound (reads always follow the unique argBind site) or the
+// head projects it; an argBind whose slot is never read is dead and the
+// streaming walk skips the store. Head-bound clauses additionally keep
+// every seed slot live (the rederivation probe seeds them before the
+// walk). Safe because the only whole-environment reader, provenance
+// capture, runs under Trace, which forces the legacy walk.
+func compileStreamPlan(cc *compiledClause, seed []compiledArg) {
+	live := make([]bool, cc.nslots)
+	for _, a := range cc.headArgs {
+		if a.kind != argConst {
+			live[a.slot] = true
+		}
+	}
+	for _, a := range seed {
+		if a.kind != argConst {
+			live[a.slot] = true
+		}
+	}
+	for i := range cc.lits {
+		for _, a := range cc.lits[i].args {
+			if a.kind == argBound {
+				live[a.slot] = true
+			}
+		}
+	}
+	for i := range cc.lits {
+		cl := &cc.lits[i]
+		first := make(map[int]int, len(cl.args))
+		for pos, a := range cl.args {
+			switch a.kind {
+			case argBind:
+				if _, ok := first[a.slot]; !ok {
+					first[a.slot] = pos
+				}
+				if live[a.slot] {
+					cl.binds = append(cl.binds, bindPos{pos: pos, slot: a.slot})
+				}
+			case argCheck:
+				cl.checks = append(cl.checks, checkPair{pos: pos, first: first[a.slot]})
+			}
+		}
+	}
 }
 
 // clone gives a parallel worker its own copy of the clause: the static
@@ -219,5 +289,6 @@ func (cc *compiledClause) clone() *compiledClause {
 		}
 	}
 	c.headBuf = make(value.Tuple, len(cc.headBuf))
+	c.iters = nil
 	return &c
 }

@@ -13,10 +13,24 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"idlog/internal/relation"
 	"idlog/internal/value"
 )
+
+// dbVersions hands out process-unique database version stamps. Every
+// database construction or mutation entry point (NewDatabase, Add,
+// AddAll, SetRelation, Thaw, Clone, DeepClone, Apply) takes a fresh
+// stamp, so two databases with equal versions are guaranteed to hold
+// the same EDB contents — the invariant the plan cache keys on. The
+// converse is deliberately not promised: equal contents may carry
+// different stamps (a missed cache hit, never a wrong one). Mutating a
+// relation directly (db.Relation(p).Insert(...)) bypasses the stamp;
+// the supported mutation path is Add/SetRelation/Apply.
+var dbVersions atomic.Uint64
+
+func nextDBVersion() uint64 { return dbVersions.Add(1) }
 
 // Database holds the input (EDB) relations for a query: the paper's
 // input database r = (u-domain; r1, ..., rn).
@@ -27,14 +41,24 @@ import (
 // per-run work relations), and freezing closes the one remaining
 // mutable path, the lazy secondary indexes built on first probe.
 type Database struct {
-	rels   map[string]*relation.Relation
-	frozen bool
+	rels    map[string]*relation.Relation
+	frozen  bool
+	version uint64
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	return &Database{rels: make(map[string]*relation.Relation)}
+	return &Database{rels: make(map[string]*relation.Relation), version: nextDBVersion()}
 }
+
+// Version returns the database's content stamp: fresh on construction,
+// re-stamped by every mutation through the database API (Add, AddAll,
+// SetRelation) and by every derivation of a new database (Thaw, Clone,
+// DeepClone, Apply). Equal versions imply equal contents; the plan
+// cache uses the stamp to invalidate on Database.Apply without content
+// hashing. Freeze does not change the version — it changes sharing,
+// not contents.
+func (db *Database) Version() uint64 { return db.version }
 
 // Add inserts a tuple into the named relation, creating the relation
 // with the tuple's arity on first use. Adding to a frozen database
@@ -48,6 +72,7 @@ func (db *Database) Add(name string, t value.Tuple) error {
 		r = relation.New(name, len(t))
 		db.rels[name] = r
 	}
+	db.version = nextDBVersion()
 	_, err := r.Insert(t)
 	return err
 }
@@ -69,6 +94,7 @@ func (db *Database) SetRelation(name string, r *relation.Relation) {
 		panic(fmt.Sprintf("database: SetRelation(%s) on frozen database", name))
 	}
 	db.rels[name] = r
+	db.version = nextDBVersion()
 }
 
 // Freeze makes the database and every relation in it immutable and

@@ -28,12 +28,27 @@ type Options struct {
 	// Costs memory proportional to the model. Trace forces sequential
 	// evaluation (provenance capture is inherently ordered).
 	Trace bool
+	// NoStreaming disables the streaming get-next executor: clause
+	// bodies are evaluated by the legacy recursive walk. The model,
+	// insertion order, and statistics are identical either way (the
+	// executor only changes how each body instantiation is enumerated
+	// and which environment slots are materialized); this is the escape
+	// hatch and the ablation baseline. Trace forces the legacy walk —
+	// provenance capture snapshots the whole environment, which the
+	// executor's projection pushdown deliberately leaves sparse.
+	NoStreaming bool
 	// NoPlanner disables the cost-based join planner: clause bodies are
 	// evaluated in the analysis safety order and semi-naive deltas are
 	// substituted in place instead of rotated to depth 0. The model is
 	// identical either way (the planner only picks among safe orders);
 	// this is the escape hatch and the ablation baseline.
 	NoPlanner bool
+	// PlanCache, when non-nil, memoizes compiled stratum plans across
+	// evaluations keyed by (program, database version, planner toggle);
+	// see PlanCache for the invalidation and correctness contract. A
+	// fully successful run publishes its plans; a hit skips cardinality
+	// estimation and stratum compilation. Trace runs bypass the cache.
+	PlanCache *PlanCache
 	// Parallelism bounds the worker pool of the semi-naive fixpoint:
 	// each round's work is sharded across up to this many goroutines and
 	// merged through a deterministic ordered reducer, so answer sets and
@@ -53,6 +68,15 @@ func (o Options) oracle() relation.Oracle {
 	}
 	return o.Oracle
 }
+
+// streaming reports whether the get-next executor is active; Trace
+// forces the legacy walk (provenance reads the whole environment).
+func (o Options) streaming() bool { return !o.NoStreaming && !o.Trace }
+
+// StreamingEnabled reports whether these Options run the streaming
+// get-next executor; exported for callers that mirror the choice into
+// derived configurations (incremental CompileOptions, CLI renderers).
+func (o Options) StreamingEnabled() bool { return o.streaming() }
 
 func (o Options) guard() *guard.Guard {
 	if o.Guard != nil {
@@ -102,16 +126,38 @@ func Eval(info *analysis.Info, db *Database, opts Options) (res *Result, err err
 	for p := range info.IDB {
 		e.work[p] = relation.New(p, info.Arity[p])
 	}
+	// Consult the plan cache: a hit hands each stratum a fresh clone of
+	// its cached plan; a miss collects this run's plans for publication.
+	e.plans = make([]*stratumPlan, len(info.Strata))
+	pc := opts.PlanCache
+	if opts.Trace {
+		pc = nil
+	}
+	var pcKey planKey
+	if pc != nil {
+		pcKey = planKey{info: info, dbVersion: db.Version(), planner: opts.planner()}
+		if cached, ok := pc.get(pcKey); ok {
+			for i := range cached {
+				e.plans[i] = cached[i].clone()
+			}
+			pc = nil // already published; this run only consumes
+		}
+	}
 	for i, s := range info.Strata {
 		if e.governed {
 			if err := e.g.StartStratum(i); err != nil {
 				return e.partial(err), err
 			}
 		}
-		if err := e.evalStratum(s); err != nil {
+		if err := e.evalStratum(i, s); err != nil {
 			return e.partial(err), err
 		}
 		e.completed = i + 1
+	}
+	if pc != nil {
+		// Publish only on full success: a tripped run may hold plans for
+		// a prefix of the strata.
+		pc.put(pcKey, e.plans)
 	}
 	return &Result{rels: e.work, idrels: e.idrels, Stats: e.stats, prov: e.prov,
 		CompletedStrata: e.completed}, nil
@@ -126,6 +172,10 @@ type engine struct {
 	idrels   map[string]*relation.Relation
 	stats    Stats
 	prov     map[string]provEntry
+	// plans holds the per-stratum compiled plans — cache-hit clones or
+	// the plans compiled by this run (nil slots compile on demand; a nil
+	// slice, as in EvalStrata, disables collection entirely).
+	plans []*stratumPlan
 	// completed counts fully evaluated strata; curClause is the source
 	// of the clause being instantiated (panic/error context).
 	completed int
@@ -144,7 +194,7 @@ func (e *engine) partial(cause error) *Result {
 		Incomplete: true, CompletedStrata: e.completed, Err: cause}
 }
 
-func (e *engine) evalStratum(s *analysis.Stratum) error {
+func (e *engine) evalStratum(si int, s *analysis.Stratum) error {
 	// Materialize the ID-relations this stratum references; every base
 	// relation is complete by now (stratification guarantees it).
 	for _, need := range s.IDNeeds {
@@ -181,11 +231,22 @@ func (e *engine) evalStratum(s *analysis.Stratum) error {
 	// Compile the stratum's evaluation plan: with the planner on, bodies
 	// are selectivity-ordered under a cardinality snapshot taken now
 	// (earlier strata are complete, ID-relations just materialized) and
-	// recursive clauses get delta-first variants.
-	card := stratumCard(s, inStratum, e.work, e.idrels)
-	sp, err := compileStratumPlan(s, func(p string) bool { return inStratum[p] }, card, !e.opts.planner())
-	if err != nil {
-		return err
+	// recursive clauses get delta-first variants. A plan-cache hit
+	// pre-populated e.plans[si] and skips compilation entirely.
+	var sp *stratumPlan
+	if e.plans != nil {
+		sp = e.plans[si]
+	}
+	if sp == nil {
+		card := stratumCard(s, inStratum, e.work, e.idrels)
+		var err error
+		sp, err = compileStratumPlan(s, func(p string) bool { return inStratum[p] }, card, !e.opts.planner())
+		if err != nil {
+			return err
+		}
+		if e.plans != nil {
+			e.plans[si] = sp
+		}
 	}
 	if e.opts.Naive {
 		return e.naiveFixpoint(sp.all[:sp.nseed])
@@ -246,9 +307,12 @@ func (e *engine) seminaiveFixpoint(s *analysis.Stratum, sp *stratumPlan) error {
 		}
 		return nil
 	}
+	// Deltas are append-only: the derive hook feeds them exactly the
+	// tuples the full relation reported new, so they need no duplicate
+	// checking and skip the primary hash table entirely.
 	delta := map[string]*relation.Relation{}
 	for _, p := range s.Preds {
-		delta[p] = relation.New(p, e.work[p].Arity())
+		delta[p] = relation.NewDelta(p, e.work[p].Arity(), 0)
 	}
 	for _, cc := range clauses {
 		if _, err := e.evalClause(cc, -1, delta[cc.headPred], e.work[cc.headPred]); err != nil {
@@ -277,7 +341,9 @@ func (e *engine) seminaiveFixpoint(s *analysis.Stratum, sp *stratumPlan) error {
 		e.stats.Iterations++
 		next := map[string]*relation.Relation{}
 		for _, p := range s.Preds {
-			next[p] = relation.New(p, e.work[p].Arity())
+			// The previous round's delta size is the best available prior
+			// for this round's.
+			next[p] = relation.NewDelta(p, e.work[p].Arity(), delta[p].Len())
 		}
 		for _, ci := range recursive {
 			for _, u := range sp.units[ci] {
@@ -330,7 +396,7 @@ func (e *engine) evalClauseDelta(cc *compiledClause, deltaPos int, deltaRel, del
 func (e *engine) run(cc *compiledClause, deltaPos int, deltaRel, deltaSink, full *relation.Relation) (int, error) {
 	inserted := 0
 	e.curClause = cc.srcText
-	rn := runner{resolve: e.resolve, stats: &e.stats}
+	rn := runner{resolve: e.resolve, stats: &e.stats, stream: e.opts.streaming()}
 	rn.derive = func(cc *compiledClause, env []value.Value, head value.Tuple) error {
 		if e.governed {
 			// Amortized governance: consult the guard only when the
@@ -368,7 +434,7 @@ func (e *engine) run(cc *compiledClause, deltaPos int, deltaRel, deltaSink, full
 			e.stats.Inserted++
 			e.recordProvenance(cc, env, stored)
 			if deltaSink != nil {
-				deltaSink.MustInsert(stored)
+				deltaSink.Append(stored)
 			}
 		}
 		return nil
@@ -401,6 +467,11 @@ type runner struct {
 	resolve func(cl *compiledLit) (*relation.Relation, error)
 	stats   *Stats
 	derive  func(cc *compiledClause, env []value.Value, head value.Tuple) error
+	// stream selects the get-next executor (iterator.go) over the
+	// legacy recursive walk below. Both enumerate instantiations in
+	// the same order with the same statistics; Trace requires the
+	// legacy walk (see Options.NoStreaming).
+	stream bool
 }
 
 // run walks cc with the delta relation substituted at deltaPos (-1 for
@@ -417,6 +488,9 @@ func (rn *runner) run(cc *compiledClause, deltaPos int, deltaRel *relation.Relat
 // across walks without clearing: compilation guarantees every slot read
 // was bound earlier in the same walk or by the seed.
 func (rn *runner) walk(cc *compiledClause, env []value.Value, deltaPos int, deltaRel *relation.Relation, lo, hi int) error {
+	if rn.stream {
+		return rn.streamWalk(cc, env, deltaPos, deltaRel, lo, hi)
+	}
 	var rec func(depth int) error
 	rec = func(depth int) error {
 		if depth == len(cc.lits) {

@@ -206,7 +206,7 @@ func (e *engine) parallelFixpoint(s *analysis.Stratum, sp *stratumPlan) error {
 		for j, cc := range clauses {
 			w.clauses[j] = cc.clone()
 		}
-		w.rn = runner{resolve: e.resolve, derive: w.derive}
+		w.rn = runner{resolve: e.resolve, derive: w.derive, stream: e.opts.streaming()}
 		workers[i] = w
 	}
 
@@ -260,7 +260,7 @@ func (e *engine) parallelFixpoint(s *analysis.Stratum, sp *stratumPlan) error {
 				}
 				e.stats.Inserted++
 				if sink != nil {
-					sink[cc.headPred].MustInsert(tup)
+					sink[cc.headPred].Append(tup)
 				}
 			}
 		}
@@ -332,7 +332,7 @@ func (e *engine) parallelFixpoint(s *analysis.Stratum, sp *stratumPlan) error {
 	if s.Recursive {
 		delta = map[string]*relation.Relation{}
 		for _, p := range s.Preds {
-			delta[p] = relation.New(p, e.work[p].Arity())
+			delta[p] = relation.NewDelta(p, e.work[p].Arity(), 0)
 		}
 	}
 	var tasks []pTask
@@ -368,7 +368,7 @@ func (e *engine) parallelFixpoint(s *analysis.Stratum, sp *stratumPlan) error {
 		e.stats.Iterations++
 		next := map[string]*relation.Relation{}
 		for _, p := range s.Preds {
-			next[p] = relation.New(p, e.work[p].Arity())
+			next[p] = relation.NewDelta(p, e.work[p].Arity(), delta[p].Len())
 		}
 		tasks = tasks[:0]
 		for _, ci := range recursive {

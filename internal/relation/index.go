@@ -143,7 +143,10 @@ func (r *Relation) ensureIndex(cols []int) *secondary {
 
 // buildIndex scans the relation once and constructs the index on cols.
 func (r *Relation) buildIndex(cols []int) *secondary {
-	ix := &secondary{cols: append([]int(nil), cols...), buckets: make(map[uint64]*ibucket)}
+	// Pre-size the bucket map for the current cardinality: an upper
+	// bound on distinct keys, saving the incremental map growth during
+	// the one-shot build scan.
+	ix := &secondary{cols: append([]int(nil), cols...), buckets: make(map[uint64]*ibucket, r.Len())}
 	r.Scan(0, -1, func(pos int, t value.Tuple) bool {
 		ix.add(t, pos)
 		return true

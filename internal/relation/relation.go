@@ -60,6 +60,13 @@ type Relation struct {
 	// over marshaled keys: no per-operation key bytes.
 	primary table
 
+	// appendOnly marks a delta relation (NewDelta): tuples arrive only
+	// through Append, which skips the primary hash table entirely. The
+	// set-membership operations (Insert/Contains/Remove/Equal) panic on
+	// such relations — the caller has contracted to feed distinct tuples
+	// and to read only through Len/Scan/At/Probe.
+	appendOnly bool
+
 	// frozen (set before sharing by Freeze) rejects further inserts.
 	// Secondary indexes are published through shared: written only
 	// under buildMu, read with a single atomic load on the probe hot
@@ -77,6 +84,62 @@ type Relation struct {
 // New returns an empty relation with the given name and arity.
 func New(name string, arity int) *Relation {
 	return &Relation{name: name, arity: arity}
+}
+
+// NewSized is New with a capacity hint: the tuple slice and the primary
+// hash table are pre-sized for about hint tuples, so bulk insertion
+// skips the growth-doubling rehashes. The hint is advisory — the
+// relation grows past it normally.
+func NewSized(name string, arity, hint int) *Relation {
+	r := New(name, arity)
+	if hint > 0 {
+		r.tuples = make([]value.Tuple, 0, hint)
+		r.primary.presize(hint)
+	}
+	return r
+}
+
+// NewDelta returns an append-only relation for semi-naive per-round
+// deltas: Append stores a tuple without consulting or maintaining the
+// primary hash table, so a round's delta costs one slice append per
+// genuinely new tuple instead of a hash insert. The caller contracts
+// to Append only distinct tuples (the engine's delta sinks receive a
+// tuple exactly when the full relation's insert reported it new) and
+// to read the relation only through Len/Scan/At/Probe — Probe works
+// because secondary indexes build from Scan, never from the primary
+// table. Set-membership operations panic. hint pre-sizes the tuple
+// slice (0 = no hint).
+func NewDelta(name string, arity, hint int) *Relation {
+	r := &Relation{name: name, arity: arity, appendOnly: true}
+	if hint > 0 {
+		r.tuples = make([]value.Tuple, 0, hint)
+	}
+	return r
+}
+
+// Append adds t to an append-only relation (see NewDelta). It panics on
+// a set-semantics relation: Append skipping the primary table there
+// would silently corrupt membership checks.
+func (r *Relation) Append(t value.Tuple) {
+	if !r.appendOnly {
+		panic(fmt.Sprintf("relation %s: Append on a set-semantics relation", r.name))
+	}
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	if idxs := r.shared.Load(); idxs != nil {
+		for _, idx := range *idxs {
+			idx.add(t, pos)
+		}
+	}
+}
+
+// setOp panics when a set-membership operation reaches an append-only
+// relation — its primary table is empty, so the operation would
+// silently report every tuple absent.
+func (r *Relation) setOp(op string) {
+	if r.appendOnly {
+		panic(fmt.Sprintf("relation %s: %s on an append-only delta relation", r.name, op))
+	}
 }
 
 // FromTuples builds a relation containing the given tuples (duplicates
@@ -103,6 +166,7 @@ func (r *Relation) Len() int { return r.nsrc + len(r.tuples) }
 // The tuple is stored as-is; callers that reuse buffers must Clone first
 // or use InsertShared.
 func (r *Relation) Insert(t value.Tuple) (bool, error) {
+	r.setOp("Insert")
 	if r.frozen {
 		return false, fmt.Errorf("relation %s: insert into frozen relation", r.name)
 	}
@@ -122,6 +186,7 @@ func (r *Relation) Insert(t value.Tuple) (bool, error) {
 // the tuple is new. It returns the stored tuple (nil when duplicate) so
 // callers can propagate the canonical copy.
 func (r *Relation) InsertShared(t value.Tuple) (value.Tuple, error) {
+	r.setOp("InsertShared")
 	if r.frozen {
 		return nil, fmt.Errorf("relation %s: insert into frozen relation", r.name)
 	}
@@ -162,6 +227,7 @@ func (r *Relation) store(h uint64, t value.Tuple) {
 // materialize their source first (segments are immutable), so the first
 // deletion from a disk-backed relation pays a full promotion to memory.
 func (r *Relation) Remove(t value.Tuple) (bool, error) {
+	r.setOp("Remove")
 	if r.frozen {
 		return false, fmt.Errorf("relation %s: remove from frozen relation", r.name)
 	}
@@ -209,6 +275,7 @@ func (r *Relation) MustInsert(t value.Tuple) bool {
 
 // Contains reports whether t is in the relation.
 func (r *Relation) Contains(t value.Tuple) bool {
+	r.setOp("Contains")
 	if len(t) != r.arity {
 		return false
 	}

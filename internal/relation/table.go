@@ -128,6 +128,24 @@ func (tb *table) updatePos(h uint64, oldPos, newPos int) {
 	}
 }
 
+// presize allocates the entry array for about n tuples so bulk
+// insertion avoids growth rehashes. Only valid on an empty table (a
+// construction-time hint); a smaller-than-current size is ignored.
+func (tb *table) presize(n int) {
+	if tb.used != 0 {
+		return
+	}
+	size := tableMinSize
+	for size*3 < n*4 {
+		size *= 2
+	}
+	if size <= len(tb.entries) {
+		return
+	}
+	tb.entries = make([]tableEntry, size)
+	tb.mask = uint64(size - 1)
+}
+
 // rehash grows the table (doubling while genuinely loaded) or compacts
 // it at the current size when the load is mostly tombstones.
 func (tb *table) rehash() {

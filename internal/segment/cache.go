@@ -61,10 +61,18 @@ func (c *Cache) get(k ckey) ([]value.Tuple, bool) {
 }
 
 // put inserts a freshly decoded block, evicting least-recently-used
-// blocks until the budget holds. The newest block always stays.
+// blocks until the budget holds. A block larger than the entire budget
+// is declined outright: admitting it would evict every resident block
+// and still pin used > max until an unrelated later eviction — the
+// caller already holds the decoded tuples and streams through them
+// once. Under a non-positive budget the newest block always stays, so
+// scans degrade to streaming rather than re-decoding per tuple.
 func (c *Cache) put(k ckey, tuples []value.Tuple, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.max > 0 && bytes > c.max {
+		return
+	}
 	if el, ok := c.items[k]; ok {
 		// Lost a concurrent decode race; keep the published copy.
 		c.ll.MoveToFront(el)
@@ -73,6 +81,12 @@ func (c *Cache) put(k ckey, tuples []value.Tuple, bytes int64) {
 	el := c.ll.PushFront(&centry{key: k, tuples: tuples, bytes: bytes})
 	c.items[k] = el
 	c.used += bytes
+	c.shrink()
+}
+
+// shrink evicts LRU blocks until the budget holds, always keeping the
+// most recent block. Callers must hold c.mu.
+func (c *Cache) shrink() {
 	for c.used > c.max && c.ll.Len() > 1 {
 		back := c.ll.Back()
 		e := back.Value.(*centry)
@@ -80,6 +94,17 @@ func (c *Cache) put(k ckey, tuples []value.Tuple, bytes int64) {
 		delete(c.items, e.key)
 		c.used -= e.bytes
 	}
+}
+
+// Resize changes the byte budget in place, evicting LRU blocks if the
+// new budget is smaller than current residency. Resizing the shared
+// DefaultCache is how the root API honors -cache-mb-style sizing for
+// databases opened without an explicit cache.
+func (c *Cache) Resize(maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.max = maxBytes
+	c.shrink()
 }
 
 // drop evicts every block of segment seg; called when a segment closes

@@ -79,6 +79,12 @@ type Config struct {
 	// base EDB from segment files in Engine.Dir and Checkpoint writes a
 	// new segment generation there instead of a <wal>.snapshot file.
 	Engine storage.Engine
+	// NoPlanCache disables the prepared-query and plan caches (the
+	// default is enabled): every goal query then re-parses, re-compiles,
+	// and re-plans per request exactly as before. The escape hatch
+	// behind idlogd's -plan-cache flag; answers are identical either
+	// way.
+	NoPlanCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +169,10 @@ type Server struct {
 	programsMu sync.RWMutex
 	programs   map[string]*program
 
+	// queries caches parsed ad-hoc programs and prepared goal queries
+	// (nil when Config.NoPlanCache).
+	queries *queryCache
+
 	slots    chan struct{}
 	queued   atomic.Int64
 	inflight atomic.Int64
@@ -194,6 +204,9 @@ func New(cfg Config) *Server {
 		drainCh:     make(chan struct{}),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
+	}
+	if !cfg.NoPlanCache {
+		s.queries = newQueryCache()
 	}
 	base := idlog.NewDatabase()
 	base.Freeze()
@@ -506,20 +519,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var prog *idlog.Program
+	var progKey string
 	if req.Program != "" {
 		p, e := s.lookupProgram(req.Program)
 		if e != nil {
 			writeError(w, e)
 			return
 		}
-		prog = p.prog
+		prog, progKey = p.prog, "p:"+p.name
 	} else {
-		parsed, err := idlog.Parse(req.Source)
+		parsed, key, err := s.parsedProgram(req.Source)
 		if err != nil {
 			writeError(w, fromEngineError(err))
 			return
 		}
-		prog = parsed
+		prog, progKey = parsed, key
 	}
 	db, unpin, e := s.resolveDB(req.Session, req.Facts)
 	if e != nil {
@@ -547,7 +561,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	if req.Goal != "" {
-		qr, err := prog.QueryContext(r.Context(), db, req.Goal, opts...)
+		var qr *idlog.QueryResult
+		var err error
+		if s.queries != nil {
+			// Prepared path: goal parse, wrapper compile, and (per
+			// database version) stratum planning are all cached.
+			pq, perr := s.preparedQuery(progKey, prog, req.Goal)
+			if perr != nil {
+				writeError(w, fromEngineError(perr))
+				return
+			}
+			qr, err = pq.QueryContext(r.Context(), db, opts...)
+		} else {
+			qr, err = prog.QueryContext(r.Context(), db, req.Goal, opts...)
+		}
 		resp := goalResponse(qr, time.Since(start))
 		if err != nil {
 			ae := fromEngineError(err)

@@ -102,6 +102,22 @@ func WithPlanner(on bool) Option {
 	return func(c *config) { c.eval.NoPlanner = !on }
 }
 
+// WithStreaming enables (the default) or disables the streaming
+// get-next executor: with it on, clause bodies are evaluated by a
+// pipeline of composable cursors with selection and projection pushed
+// down into the scans; with it off, the legacy recursive walk runs.
+// The computed model, insertion order, and statistics are identical
+// either way, so WithStreaming(false) is the performance-ablation and
+// escape hatch. Tracing (WithTrace) forces the legacy walk.
+func WithStreaming(on bool) Option {
+	return func(c *config) { c.eval.NoStreaming = !on }
+}
+
+// withPlanCache arms the evaluation's plan cache (prepared queries).
+func withPlanCache(pc *core.PlanCache) Option {
+	return func(c *config) { c.eval.PlanCache = pc }
+}
+
 // WithMaxRuns bounds the number of evaluation runs Enumerate may
 // perform (default 100000).
 func WithMaxRuns(n int) Option {

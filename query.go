@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"idlog/internal/ast"
+	"idlog/internal/core"
 	"idlog/internal/guard"
 	"idlog/internal/parser"
 )
@@ -31,6 +32,24 @@ func (p *Program) QueryContext(ctx context.Context, db *Database, goal string, o
 			qr, err = nil, guard.Errorf(guard.Internal, "query", "panic: %v", r)
 		}
 	}()
+	pq, err := p.Prepare(goal)
+	if err != nil {
+		return nil, err
+	}
+	return pq.run(ctx, db, opts)
+}
+
+// Prepare parses and compiles the goal against the program once,
+// returning a PreparedQuery whose Query/QueryContext skip goal parsing,
+// wrapper compilation, and analysis on every call — and whose plan
+// cache additionally skips stratum planning when the same database
+// snapshot is queried repeatedly. A malformed goal yields a typed
+// CodeParseError, exactly as Query does.
+//
+// A PreparedQuery is immutable and safe for concurrent use (subject to
+// the Database concurrency contract: freeze a database before sharing
+// it across goroutines).
+func (p *Program) Prepare(goal string) (*PreparedQuery, error) {
 	wrapped, err := parser.Clause("query_wrapper_head :- " + goal + ".")
 	if err != nil {
 		return nil, guard.WrapErr(guard.ParseError, "query", err, fmt.Sprintf("goal %q", goal))
@@ -56,15 +75,65 @@ func (p *Program) QueryContext(ctx context.Context, db *Database, goal string, o
 	if err != nil {
 		return nil, err
 	}
-	res, err := compiled.EvalContext(ctx, db, opts...)
+	return &PreparedQuery{
+		goal:     goal,
+		compiled: compiled,
+		vars:     vars,
+		ansPred:  ansPred,
+		cache:    core.NewPlanCache(0),
+	}, nil
+}
+
+// PreparedQuery is a goal compiled once by Program.Prepare for repeated
+// execution. Each instance owns a plan cache shared by its runs: the
+// first evaluation against a database snapshot compiles and publishes
+// the stratum plans, subsequent evaluations against the same snapshot
+// (same Database version — any Apply/Add/SetRelation invalidates)
+// reuse them.
+type PreparedQuery struct {
+	goal     string
+	compiled *Program
+	vars     []ast.Var
+	ansPred  string
+	cache    *core.PlanCache
+}
+
+// Goal returns the goal text the query was prepared from.
+func (pq *PreparedQuery) Goal() string { return pq.goal }
+
+// Query executes the prepared goal against db; see Program.Query for
+// the result contract.
+func (pq *PreparedQuery) Query(db *Database, opts ...Option) (*QueryResult, error) {
+	return pq.QueryContext(context.Background(), db, opts...)
+}
+
+// QueryContext is Query honoring ctx and the governance options; see
+// Program.QueryContext for the degradation contract.
+func (pq *PreparedQuery) QueryContext(ctx context.Context, db *Database, opts ...Option) (qr *QueryResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			qr, err = nil, guard.Errorf(guard.Internal, "query", "panic: %v", r)
+		}
+	}()
+	return pq.run(ctx, db, opts)
+}
+
+// CacheStats reports the prepared query's plan-cache counters.
+func (pq *PreparedQuery) CacheStats() (hits, misses uint64) { return pq.cache.Stats() }
+
+// run evaluates the pre-compiled wrapper program with the plan cache
+// armed (appended last so it cannot be overridden by caller options).
+func (pq *PreparedQuery) run(ctx context.Context, db *Database, opts []Option) (*QueryResult, error) {
+	opts = append(append([]Option{}, opts...), withPlanCache(pq.cache))
+	res, err := pq.compiled.EvalContext(ctx, db, opts...)
 	if err != nil {
 		// A governed trip still carries the bindings derived so far.
 		if res != nil && res.Incomplete {
-			return buildQueryResult(vars, res, ansPred), err
+			return buildQueryResult(pq.vars, res, pq.ansPred), err
 		}
 		return nil, err
 	}
-	return buildQueryResult(vars, res, ansPred), nil
+	return buildQueryResult(pq.vars, res, pq.ansPred), nil
 }
 
 // buildQueryResult projects the answer predicate's relation onto a
