@@ -135,6 +135,7 @@ func main() {
 	plan := flag.Bool("plan", false, "print the join plans the engine would use and exit")
 	planner := flag.Bool("planner", true, "enable the cost-based join planner")
 	stream := flag.Bool("stream", true, "enable the streaming get-next executor")
+	magic := flag.Bool("magic", true, "enable the magic-sets demand rewrite for interactive goal queries")
 	interactive := flag.Bool("i", false, "start an interactive session (REPL)")
 	walPath := flag.String("wal", "", "durable write-ahead log for the interactive session (with -i)")
 	explain := flag.String("explain", "", "print the derivation tree of a ground atom, e.g. 'tc(a, c)'")
@@ -227,6 +228,7 @@ func main() {
 			parallel:       *parallel,
 			noPlanner:      !*planner,
 			noStream:       !*stream,
+			noMagic:        !*magic,
 		}, db, log, preload...)
 		return
 	}

@@ -11,7 +11,6 @@ import (
 
 	"idlog"
 	"idlog/internal/ast"
-	"idlog/internal/guard"
 	"idlog/internal/parser"
 	"idlog/internal/wal"
 )
@@ -26,6 +25,7 @@ type replLimits struct {
 	parallel       int
 	noPlanner      bool
 	noStream       bool
+	noMagic        bool
 }
 
 // options renders the limits as engine options.
@@ -48,6 +48,9 @@ func (l replLimits) options() []idlog.Option {
 	}
 	if l.noStream {
 		opts = append(opts, idlog.WithStreaming(false))
+	}
+	if l.noMagic {
+		opts = append(opts, idlog.WithMagic(false))
 	}
 	return opts
 }
@@ -75,8 +78,12 @@ func (l replLimits) String() string {
 	if l.noStream {
 		st = "off"
 	}
-	return fmt.Sprintf("limits: timeout=%s, max-tuples=%s, max-derivations=%s, parallel=%s, planner=%s, stream=%s",
-		t, show(l.maxTuples), show(l.maxDerivations), p, pl, st)
+	mg := "on"
+	if l.noMagic {
+		mg = "off"
+	}
+	return fmt.Sprintf("limits: timeout=%s, max-tuples=%s, max-derivations=%s, parallel=%s, planner=%s, stream=%s, magic=%s",
+		t, show(l.maxTuples), show(l.maxDerivations), p, pl, st, mg)
 }
 
 // repl is the interactive session state. Clauses hold the session
@@ -113,7 +120,9 @@ const replHelp = `commands:
                                  timeout (duration), max-tuples,
                                  max-derivations (0 = off), parallel
                                  (worker goroutines, 1 = sequential),
-                                 planner (on/off), stream (on/off)
+                                 planner (on/off), stream (on/off),
+                                 magic (on/off: goal-directed magic-sets
+                                 rewriting for bound queries)
   :clear                         drop all session clauses
   :help                          this text
   :quit                          leave
@@ -318,6 +327,16 @@ func (s *repl) limitsCommand(args []string) {
 				fmt.Fprintln(s.out, "bad stream (on/off):", val)
 				return
 			}
+		case "magic":
+			switch val {
+			case "on", "true", "1":
+				next.noMagic = false
+			case "off", "false", "0":
+				next.noMagic = true
+			default:
+				fmt.Fprintln(s.out, "bad magic (on/off):", val)
+				return
+			}
 		default:
 			fmt.Fprintln(s.out, "unknown limit:", key)
 			return
@@ -390,42 +409,18 @@ func (s *repl) input(text string) {
 	fmt.Fprintln(s.out, "ok")
 }
 
-// buildQuery wraps "?- body" query text into the session program plus a
-// clause for a fresh answer predicate collecting the bindings of the
-// body's variables, compiled and ready to run.
-func (s *repl) buildQuery(body string) (*idlog.Program, string, []ast.Var, error) {
-	// Parse by wrapping in a throwaway clause head; then rebuild the
-	// head from the body's variables so answers carry the bindings.
-	body = strings.TrimSuffix(strings.TrimSpace(body), ".") + "."
-	wrapped, err := parser.Clause("query_wrapper_head :- " + body)
+// buildQuery compiles the session program and prepares "?- body"
+// against it: Program.Prepare wraps the goal in a fresh answer
+// predicate, compiles it, and — for bound goals — attaches the
+// magic-sets rewriting, so REPL queries take exactly the demand path
+// library callers get.
+func (s *repl) buildQuery(body string) (*idlog.PreparedQuery, error) {
+	body = strings.TrimSuffix(strings.TrimSpace(body), ".")
+	compiled, err := idlog.FromAST(&ast.Program{Clauses: s.clauses})
 	if err != nil {
-		// Surface the typed engine error, not the bare parser error, so
-		// the REPL reports goal syntax problems the same way Query does.
-		return nil, "", nil, guard.WrapErr(guard.ParseError, "query", err,
-			fmt.Sprintf("goal %q", strings.TrimSuffix(body, ".")))
+		return nil, err
 	}
-	ansPred := "ans"
-	for taken := true; taken; {
-		taken = false
-		for _, c := range s.clauses {
-			if c.Head.Pred == ansPred {
-				ansPred += "_"
-				taken = true
-			}
-		}
-	}
-	vars := ast.ClauseVars(&ast.Clause{Head: &ast.Atom{Pred: "x"}, Body: wrapped.Body})
-	head := &ast.Atom{Pred: ansPred}
-	for _, v := range vars {
-		head.Args = append(head.Args, v)
-	}
-	prog := &ast.Program{Clauses: append(append([]*ast.Clause{}, s.clauses...),
-		&ast.Clause{Head: head, Body: wrapped.Body})}
-	compiled, err := idlog.FromAST(prog)
-	if err != nil {
-		return nil, "", nil, err
-	}
-	return compiled, ansPred, vars, nil
+	return compiled.Prepare(body)
 }
 
 // options renders the session's per-query engine options.
@@ -438,14 +433,16 @@ func (s *repl) options() []idlog.Option {
 }
 
 // planQuery prints the join plans the engine would use for a query —
-// the same wrapped program query() evaluates, rendered by ExplainPlan.
+// the same program query() evaluates, rendered by ExplainPlan: with the
+// demand rewrite active that is the rewritten (adorned + magic)
+// program, so the output matches what actually executes.
 func (s *repl) planQuery(body string) {
-	compiled, _, _, err := s.buildQuery(body)
+	pq, err := s.buildQuery(body)
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
 		return
 	}
-	out, err := compiled.ExplainPlan(s.db, s.options()...)
+	out, err := pq.ExplainPlan(s.db, s.options()...)
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
 		return
@@ -456,35 +453,34 @@ func (s *repl) planQuery(body string) {
 // query evaluates "?- body." against the session program: a fresh
 // answer predicate collects the bindings of the body's variables.
 func (s *repl) query(body string) {
-	compiled, ansPred, vars, err := s.buildQuery(body)
+	pq, err := s.buildQuery(body)
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
 		return
 	}
-	res, err := compiled.Eval(s.db, s.options()...)
+	res, err := pq.Query(s.db, s.options()...)
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
 		return
 	}
-	ans := res.Relation(ansPred)
-	if len(vars) == 0 {
-		if ans.Len() > 0 {
+	if len(res.Vars) == 0 {
+		if res.Holds() {
 			fmt.Fprintln(s.out, "true")
 		} else {
 			fmt.Fprintln(s.out, "false")
 		}
 		return
 	}
-	if ans.Len() == 0 {
+	if len(res.Rows) == 0 {
 		fmt.Fprintln(s.out, "no answers")
 		return
 	}
-	for _, t := range ans.Sorted() {
-		parts := make([]string, len(vars))
-		for i, v := range vars {
-			parts[i] = fmt.Sprintf("%s = %s", v.Name, t[i])
+	for _, t := range res.Rows {
+		parts := make([]string, len(res.Vars))
+		for i, v := range res.Vars {
+			parts[i] = fmt.Sprintf("%s = %s", v, t[i])
 		}
 		fmt.Fprintln(s.out, strings.Join(parts, ", "))
 	}
-	fmt.Fprintf(s.out, "%d answer(s)\n", ans.Len())
+	fmt.Fprintf(s.out, "%d answer(s)\n", len(res.Rows))
 }

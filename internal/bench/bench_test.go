@@ -49,10 +49,13 @@ func TestQuickSuiteRuns(t *testing.T) {
 		E17Repeats:   3,
 		E17Rules:     []int{8},
 		E17JoinSizes: []int{256},
+		E18Reps:      2,
+		E18Chains:    []int{80},
+		E18Branch:    2,
 	}
 	tables := Run(suite, "all")
-	if len(tables) != 16 {
-		t.Fatalf("ran %d experiments, want 16", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("ran %d experiments, want 17", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
@@ -70,7 +73,7 @@ func TestQuickSuiteRuns(t *testing.T) {
 			t.Errorf("%s render missing header: %q", tab.ID, out[:60])
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14", "E15", "E16", "E17"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14", "E15", "E16", "E17", "E18"} {
 		if !ids[id] {
 			t.Errorf("experiment %s missing", id)
 		}

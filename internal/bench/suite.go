@@ -78,6 +78,12 @@ type Suite struct {
 	E17Repeats   int
 	E17Rules     []int
 	E17JoinSizes []int
+	// E18Reps is the timed-runs-per-cell sample for the demand-driven
+	// evaluation experiment; E18Chains are its chain lengths and
+	// E18Branch the side branches per chain node.
+	E18Reps   int
+	E18Chains []int
+	E18Branch int
 }
 
 // Quick returns a suite sized to finish in a few seconds.
@@ -123,6 +129,9 @@ func Quick() Suite {
 		E17Repeats:   25,
 		E17Rules:     []int{32, 64},
 		E17JoinSizes: []int{4096, 8192},
+		E18Reps:      3,
+		E18Chains:    []int{200, 400},
+		E18Branch:    3,
 	}
 }
 
@@ -172,6 +181,9 @@ func Full() Suite {
 		E17Repeats:   100,
 		E17Rules:     []int{64, 128},
 		E17JoinSizes: []int{16384, 32768},
+		E18Reps:      5,
+		E18Chains:    []int{400, 800, 1200},
+		E18Branch:    3,
 	}
 }
 
@@ -204,5 +216,6 @@ func Run(s Suite, only string) []*Table {
 	run("E15", func() *Table { return E15(s.E15Reps, s.E15JoinSizes, s.E15Chains) })
 	run("E16", func() *Table { return E16(s.E16Sizes, s.E16CacheKBs, s.E16Reps) })
 	run("E17", func() *Table { return E17(s.E17Reps, s.E17Repeats, s.E17Rules, s.E17JoinSizes) })
+	run("E18", func() *Table { return E18(s.E18Reps, s.E18Chains, s.E18Branch) })
 	return out
 }

@@ -33,6 +33,7 @@ type metrics struct {
 	// PreparedQuery (skipping parse+compile+plan) vs. ones that had to
 	// prepare.
 	planCacheHits   atomic.Uint64
+	magicQueries    atomic.Uint64
 	planCacheMisses atomic.Uint64
 
 	// Mutation-path counters: effective EDB changes acknowledged, DRed
@@ -203,6 +204,7 @@ func (m *metrics) render(b *strings.Builder, gauges map[string]float64) {
 	counter("idlogd_sessions_evicted_total", "Sessions evicted after idling past the TTL.", m.sessionsEvicted.Load())
 	counter("idlogd_parallel_queries_total", "Evaluations that requested parallelism above 1.", m.parallelQueries.Load())
 	counter("idlogd_plan_cache_hits_total", "Goal queries served by a cached prepared query (parse, compile, and planning skipped).", m.planCacheHits.Load())
+	counter("idlogd_magic_queries_total", "Goal queries evaluated through the magic-sets demand rewrite.", m.magicQueries.Load())
 	counter("idlogd_plan_cache_misses_total", "Goal queries that prepared (and cached) their query fresh.", m.planCacheMisses.Load())
 	counter("idlogd_facts_inserted_total", "EDB tuples inserted by acknowledged mutations.", m.factsInserted.Load())
 	counter("idlogd_facts_deleted_total", "EDB tuples deleted by acknowledged mutations.", m.factsDeleted.Load())

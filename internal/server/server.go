@@ -85,6 +85,12 @@ type Config struct {
 	// behind idlogd's -plan-cache flag; answers are identical either
 	// way.
 	NoPlanCache bool
+	// NoMagic disables the magic-sets demand rewrite for goal queries
+	// (the default is enabled): every goal then evaluates the full
+	// program. The escape hatch behind idlogd's -magic flag; per-request
+	// opt-out is the wire field "magic": false. Answers are identical
+	// either way.
+	NoMagic bool
 }
 
 func (c Config) withDefaults() Config {
@@ -559,6 +565,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != nil {
 		opts = append(opts, idlog.WithSeed(*req.Seed))
 	}
+	if s.cfg.NoMagic || (req.Magic != nil && !*req.Magic) {
+		opts = append(opts, idlog.WithMagic(false))
+	}
 	start := time.Now()
 	if req.Goal != "" {
 		var qr *idlog.QueryResult
@@ -574,6 +583,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			qr, err = pq.QueryContext(r.Context(), db, opts...)
 		} else {
 			qr, err = prog.QueryContext(r.Context(), db, req.Goal, opts...)
+		}
+		if qr != nil && qr.UsedMagic {
+			s.metrics.magicQueries.Add(1)
 		}
 		resp := goalResponse(qr, time.Since(start))
 		if err != nil {

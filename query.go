@@ -7,6 +7,7 @@ import (
 	"idlog/internal/ast"
 	"idlog/internal/core"
 	"idlog/internal/guard"
+	"idlog/internal/magic"
 	"idlog/internal/parser"
 )
 
@@ -75,13 +76,27 @@ func (p *Program) Prepare(goal string) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{
+	pq := &PreparedQuery{
 		goal:     goal,
 		compiled: compiled,
 		vars:     vars,
 		ansPred:  ansPred,
 		cache:    core.NewPlanCache(0),
-	}, nil
+	}
+	// Demand path: rewrite the wrapper program so evaluation
+	// materializes only the goal's derivation cone. Inapplicable goals
+	// (ID-literals or negation over derived predicates in the cone, or
+	// nothing bound) fall back to the full program; so does any analysis
+	// failure of the rewritten program (defensive — e.g. an
+	// unstratifiable magic variant).
+	if rw, merr := magic.Rewrite(compiled.info, ansPred); merr != nil {
+		pq.magicErr = merr
+	} else if mp, ferr := FromAST(rw.Program); ferr != nil {
+		pq.magicErr = ferr
+	} else {
+		pq.magicProg, pq.rewrite = mp, rw
+	}
+	return pq, nil
 }
 
 // PreparedQuery is a goal compiled once by Program.Prepare for repeated
@@ -96,6 +111,14 @@ type PreparedQuery struct {
 	vars     []ast.Var
 	ansPred  string
 	cache    *core.PlanCache
+	// magicProg is the magic-sets rewriting of the wrapper program, nil
+	// when the rewrite was inapplicable (magicErr says why). Both
+	// programs share cache: plan-cache keys include the analysis
+	// identity, so the rewritten plans — which embed the goal's
+	// adornment — are cached separately from the full program's.
+	magicProg *Program
+	rewrite   *magic.Rewritten
+	magicErr  error
 }
 
 // Goal returns the goal text the query was prepared from.
@@ -121,19 +144,75 @@ func (pq *PreparedQuery) QueryContext(ctx context.Context, db *Database, opts ..
 // CacheStats reports the prepared query's plan-cache counters.
 func (pq *PreparedQuery) CacheStats() (hits, misses uint64) { return pq.cache.Stats() }
 
-// run evaluates the pre-compiled wrapper program with the plan cache
-// armed (appended last so it cannot be overridden by caller options).
+// UsesMagic reports whether the goal admitted the magic-sets demand
+// rewrite; when false, runs always evaluate the full program (see
+// WithMagic for the fallback matrix).
+func (pq *PreparedQuery) UsesMagic() bool { return pq.magicProg != nil }
+
+// selectProgram picks the program a run with the given options
+// evaluates: the magic rewriting when available and not disabled
+// (WithMagic(false)), and not tracing — traces must explain tuples in
+// terms of the source rules.
+func (pq *PreparedQuery) selectProgram(opts []Option) (prog *Program, usedMagic bool) {
+	c := &config{}
+	for _, o := range opts {
+		o(c)
+	}
+	if pq.magicProg != nil && !c.noMagic && !c.eval.Trace {
+		return pq.magicProg, true
+	}
+	return pq.compiled, false
+}
+
+// ExplainPlan renders the join plans the goal's runs would use,
+// against the program that would actually execute: when the demand
+// rewrite is active the rewritten (adorned + magic) rules are shown,
+// with a header naming the goal's adornment; otherwise the full
+// wrapper program, with the fallback reason when the rewrite was
+// inapplicable.
+func (pq *PreparedQuery) ExplainPlan(db *Database, opts ...Option) (string, error) {
+	return pq.ExplainPlanContext(context.Background(), db, opts...)
+}
+
+// ExplainPlanContext is ExplainPlan honoring ctx.
+func (pq *PreparedQuery) ExplainPlanContext(ctx context.Context, db *Database, opts ...Option) (string, error) {
+	prog, usedMagic := pq.selectProgram(opts)
+	plan, err := prog.ExplainPlanContext(ctx, db, opts...)
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case usedMagic:
+		return "demand: magic-sets rewrite active (" + pq.rewrite.Summary() + ")\n" + plan, nil
+	case pq.magicProg != nil:
+		return "demand: magic-sets rewrite available but disabled\n" + plan, nil
+	default:
+		return "demand: full evaluation (" + pq.magicErr.Error() + ")\n" + plan, nil
+	}
+}
+
+// run evaluates the pre-compiled wrapper program — or its magic-sets
+// rewriting when the demand path is active — with the plan cache armed
+// (appended last so it cannot be overridden by caller options).
 func (pq *PreparedQuery) run(ctx context.Context, db *Database, opts []Option) (*QueryResult, error) {
 	opts = append(append([]Option{}, opts...), withPlanCache(pq.cache))
-	res, err := pq.compiled.EvalContext(ctx, db, opts...)
+	prog, usedMagic := pq.selectProgram(opts)
+	res, err := prog.EvalContext(ctx, db, opts...)
 	if err != nil {
 		// A governed trip still carries the bindings derived so far.
 		if res != nil && res.Incomplete {
-			return buildQueryResult(pq.vars, res, pq.ansPred), err
+			return pq.result(res, usedMagic), err
 		}
 		return nil, err
 	}
-	return buildQueryResult(pq.vars, res, pq.ansPred), nil
+	return pq.result(res, usedMagic), nil
+}
+
+func (pq *PreparedQuery) result(res *Result, usedMagic bool) *QueryResult {
+	qr := buildQueryResult(pq.vars, res, pq.ansPred)
+	qr.Stats = res.Stats
+	qr.UsedMagic = usedMagic
+	return qr
 }
 
 // buildQueryResult projects the answer predicate's relation onto a
@@ -161,6 +240,12 @@ type QueryResult struct {
 	Vars []string
 	// Rows are the satisfying bindings, canonically sorted.
 	Rows []Tuple
+	// Stats carries the run's evaluation counters; with the demand
+	// rewrite active they cover only the goal's derivation cone.
+	Stats Stats
+	// UsedMagic reports whether this run evaluated the magic-sets
+	// rewriting of the program rather than the full program.
+	UsedMagic bool
 }
 
 // Holds reports whether the goal was satisfiable (at least one row, or
