@@ -19,7 +19,11 @@
 //	-max-tuples n    materialized-tuple budget, a memory ceiling (0 = none)
 //	-max-derivations n  derivation budget, a work ceiling (0 = none)
 //	-parallel n      evaluate fixpoints on n worker goroutines (answers
-//	                 stay byte-identical to sequential; default 1)
+//	                 stay byte-identical to sequential; default 0 = auto,
+//	                 GOMAXPROCS clamped to 8; 1 = sequential)
+//	-partitions n    hash-partition recursive delta passes n ways with
+//	                 partition-local probe indexes (default 0 = follow
+//	                 -parallel; 1 = off; answers stay byte-identical)
 //	-plan            print the join plans the engine would use and exit
 //	-planner=false   disable the cost-based join planner (bodies run in
 //	                 the analysis safety order; same model, for ablation)
@@ -127,7 +131,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	maxTuples := flag.Int("max-tuples", 0, "materialized-tuple budget, a memory ceiling (0 = none)")
 	maxDerivations := flag.Int("max-derivations", 0, "derivation budget, a work ceiling (0 = none)")
-	parallel := flag.Int("parallel", 1, "worker goroutines for fixpoint evaluation (1 = sequential)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for fixpoint evaluation (0 = auto, 1 = sequential)")
+	partitions := flag.Int("partitions", 0, "hash-partition fan-out for recursive delta passes (0 = follow -parallel, 1 = off)")
 	partial := flag.Bool("partial", false, "on a tripped budget/timeout, still print the partial model")
 	optimize := flag.String("optimize", "", "print the optimized program w.r.t. this predicate and exit")
 	show := flag.Bool("show", false, "print the evaluated (choice-translated) program")
@@ -226,6 +231,7 @@ func main() {
 			maxTuples:      *maxTuples,
 			maxDerivations: *maxDerivations,
 			parallel:       *parallel,
+			partitions:     *partitions,
 			noPlanner:      !*planner,
 			noStream:       !*stream,
 			noMagic:        !*magic,
@@ -312,8 +318,11 @@ func main() {
 	if *maxDerivations > 0 {
 		opts = append(opts, idlog.WithMaxDerivations(*maxDerivations))
 	}
-	if *parallel > 1 {
+	if *parallel > 0 {
 		opts = append(opts, idlog.WithParallelism(*parallel))
+	}
+	if *partitions > 0 {
+		opts = append(opts, idlog.WithPartitions(*partitions))
 	}
 	if !*planner {
 		opts = append(opts, idlog.WithPlanner(false))

@@ -23,6 +23,7 @@ type replLimits struct {
 	maxTuples      int
 	maxDerivations int
 	parallel       int
+	partitions     int
 	noPlanner      bool
 	noStream       bool
 	noMagic        bool
@@ -40,8 +41,11 @@ func (l replLimits) options() []idlog.Option {
 	if l.maxDerivations > 0 {
 		opts = append(opts, idlog.WithMaxDerivations(l.maxDerivations))
 	}
-	if l.parallel > 1 {
+	if l.parallel > 0 {
 		opts = append(opts, idlog.WithParallelism(l.parallel))
+	}
+	if l.partitions > 0 {
+		opts = append(opts, idlog.WithPartitions(l.partitions))
 	}
 	if l.noPlanner {
 		opts = append(opts, idlog.WithPlanner(false))
@@ -66,9 +70,17 @@ func (l replLimits) String() string {
 	if l.timeout > 0 {
 		t = l.timeout.String()
 	}
-	p := "1 (sequential)"
-	if l.parallel > 1 {
+	p := "auto"
+	if l.parallel == 1 {
+		p = "1 (sequential)"
+	} else if l.parallel > 1 {
 		p = strconv.Itoa(l.parallel)
+	}
+	pt := "auto"
+	if l.partitions == 1 {
+		pt = "1 (off)"
+	} else if l.partitions > 1 {
+		pt = strconv.Itoa(l.partitions)
 	}
 	pl := "on"
 	if l.noPlanner {
@@ -82,8 +94,8 @@ func (l replLimits) String() string {
 	if l.noMagic {
 		mg = "off"
 	}
-	return fmt.Sprintf("limits: timeout=%s, max-tuples=%s, max-derivations=%s, parallel=%s, planner=%s, stream=%s, magic=%s",
-		t, show(l.maxTuples), show(l.maxDerivations), p, pl, st, mg)
+	return fmt.Sprintf("limits: timeout=%s, max-tuples=%s, max-derivations=%s, parallel=%s, partitions=%s, planner=%s, stream=%s, magic=%s",
+		t, show(l.maxTuples), show(l.maxDerivations), p, pt, pl, st, mg)
 }
 
 // repl is the interactive session state. Clauses hold the session
@@ -119,7 +131,10 @@ const replHelp = `commands:
   :limits [KEY VALUE ...]        show or set per-query budgets; keys:
                                  timeout (duration), max-tuples,
                                  max-derivations (0 = off), parallel
-                                 (worker goroutines, 1 = sequential),
+                                 (worker goroutines, 0 = auto,
+                                 1 = sequential), partitions (hash
+                                 fan-out for recursive delta passes,
+                                 0 = follow parallel, 1 = off),
                                  planner (on/off), stream (on/off),
                                  magic (on/off: goal-directed magic-sets
                                  rewriting for bound queries)
@@ -272,7 +287,7 @@ func (s *repl) command(line string) bool {
 // with keys timeout, max-tuples, max-derivations; 0 switches one off.
 func (s *repl) limitsCommand(args []string) {
 	if len(args)%2 != 0 {
-		fmt.Fprintln(s.out, "usage: :limits [timeout D] [max-tuples N] [max-derivations N] [parallel N]")
+		fmt.Fprintln(s.out, "usage: :limits [timeout D] [max-tuples N] [max-derivations N] [parallel N] [partitions N]")
 		return
 	}
 	next := s.limits
@@ -307,6 +322,13 @@ func (s *repl) limitsCommand(args []string) {
 				return
 			}
 			next.parallel = n
+		case "partitions":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				fmt.Fprintln(s.out, "bad partitions:", val)
+				return
+			}
+			next.partitions = n
 		case "planner":
 			switch val {
 			case "on", "true", "1":

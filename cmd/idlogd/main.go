@@ -23,8 +23,11 @@
 //	-max-tuples n         default materialized-tuple budget (0 = none)
 //	-max-derivations n    default derivation budget (0 = none)
 //	-max-parallelism n    clamp on per-request evaluation parallelism
-//	                      (default GOMAXPROCS; requests opt in via the
-//	                      "parallelism" field)
+//	                      (default GOMAXPROCS; requests tune it via the
+//	                      "parallelism" field, unset = auto)
+//	-max-partitions n     clamp on per-request hash-partition fan-out
+//	                      (default 64; requests tune it via the
+//	                      "partitions" field, unset = follow parallelism)
 //	-session-ttl d        evict sessions idle longer than this (default 15m)
 //	-drain-timeout d      grace period for in-flight requests on shutdown (default 10s)
 //	-wal file             write-ahead log for durable mutations; replayed
@@ -142,6 +145,7 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.IntVar(&dc.server.DefaultMaxTuples, "max-tuples", 0, "default materialized-tuple budget (0 = none)")
 	fs.IntVar(&dc.server.DefaultMaxDerivations, "max-derivations", 0, "default derivation budget (0 = none)")
 	fs.IntVar(&dc.server.MaxParallelism, "max-parallelism", runtime.GOMAXPROCS(0), "clamp on per-request evaluation parallelism")
+	fs.IntVar(&dc.server.MaxPartitions, "max-partitions", 64, "clamp on per-request hash-partition fan-out")
 	fs.DurationVar(&dc.server.SessionTTL, "session-ttl", 15*time.Minute, "evict sessions idle longer than this")
 	fs.StringVar(&dc.walPath, "wal", "", "write-ahead log for durable mutations (replayed on startup)")
 	fs.IntVar(&dc.server.WALCheckpointEntries, "wal-checkpoint", 1024, "checkpoint-and-truncate the WAL every n entries (negative disables)")

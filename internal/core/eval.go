@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"idlog/internal/analysis"
 	"idlog/internal/guard"
@@ -52,9 +53,23 @@ type Options struct {
 	// Parallelism bounds the worker pool of the semi-naive fixpoint:
 	// each round's work is sharded across up to this many goroutines and
 	// merged through a deterministic ordered reducer, so answer sets and
-	// ID assignment are byte-identical to a sequential run. Values ≤ 1
-	// (and Naive or Trace runs) evaluate sequentially.
+	// ID assignment are byte-identical to a sequential run. Zero (the
+	// zero value) resolves to DefaultParallelism() — GOMAXPROCS clamped
+	// to maxAutoParallelism — so parallel wins show up out of the box on
+	// multi-core hardware; set 1 to force sequential evaluation. Values
+	// < 0 (and Naive or Trace runs) also evaluate sequentially.
 	Parallelism int
+	// Partitions is the hash-partition fan-out of partition-parallel
+	// evaluation: partitionable delta units (see plan.go choosePartition)
+	// radix-partition their delta and probe relation by the join key into
+	// this many partitions, each evaluated as one task with
+	// partition-local probe indexes. Zero resolves to the worker count
+	// when that exceeds 1, else 1; 1 disables partitioning (the
+	// differential twin); values above maxPartitions clamp. Answer sets,
+	// ID assignment, and fingerprints are byte-identical at every
+	// setting. Partitioning applies only with the planner on (delta-first
+	// variants); Naive and Trace runs ignore it.
+	Partitions int
 	// Guard governs the run (cancellation, deadlines, budgets, fault
 	// injection). Nil builds a fresh guard carrying only
 	// MaxDerivations. An Enumerate walk shares one guard across its
@@ -251,19 +266,79 @@ func (e *engine) evalStratum(si int, s *analysis.Stratum) error {
 	if e.opts.Naive {
 		return e.naiveFixpoint(sp.all[:sp.nseed])
 	}
-	if e.workers() > 1 && !e.opts.Trace {
+	// The parallel fixpoint also hosts partition-parallel evaluation, so
+	// it is entered whenever either axis exceeds 1: partitions with a
+	// single worker still prune index builds (measurable on one core).
+	if (e.workers() > 1 || e.partitions() > 1) && !e.opts.Trace {
 		return e.parallelFixpoint(s, sp)
 	}
 	return e.seminaiveFixpoint(s, sp)
 }
 
-// workers resolves the effective parallelism (≥ 1).
-func (e *engine) workers() int {
-	if n := e.opts.Parallelism; n > 1 {
+// maxAutoParallelism caps the GOMAXPROCS-derived default worker count:
+// beyond it the single-threaded merge phase dominates and extra
+// workers only contend. Explicit Parallelism settings are not clamped.
+const maxAutoParallelism = 8
+
+// maxPartitions caps the partition fan-out: each partitioned unit pays
+// one task and one position list per partition and round, so an
+// absurd setting would drown the join work in bookkeeping.
+const maxPartitions = 64
+
+// DefaultParallelism is the worker count used when Options.Parallelism
+// is unset: runtime.GOMAXPROCS(0) clamped to maxAutoParallelism.
+func DefaultParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxAutoParallelism {
+		n = maxAutoParallelism
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// EffectiveParallelism resolves the worker count these Options run
+// with (≥ 1): the explicit Parallelism, or DefaultParallelism() when
+// unset.
+func (o Options) EffectiveParallelism() int {
+	n := o.Parallelism
+	if n == 0 {
+		n = DefaultParallelism()
+	}
+	if n > 1 {
 		return n
 	}
 	return 1
 }
+
+// EffectivePartitions resolves the partition fan-out these Options run
+// with (≥ 1): unset follows the worker count, so multi-core runs
+// partition by default and sequential runs stay unpartitioned unless
+// asked; explicit values clamp to maxPartitions.
+func (o Options) EffectivePartitions() int {
+	n := o.Partitions
+	if n == 0 {
+		if w := o.EffectiveParallelism(); w > 1 {
+			n = w
+		} else {
+			n = 1
+		}
+	}
+	if n > maxPartitions {
+		n = maxPartitions
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// workers resolves the effective parallelism (≥ 1).
+func (e *engine) workers() int { return e.opts.EffectiveParallelism() }
+
+// partitions resolves the effective partition fan-out (≥ 1).
+func (e *engine) partitions() int { return e.opts.EffectivePartitions() }
 
 // naiveFixpoint repeatedly evaluates every clause against the full
 // relations until no clause derives a new tuple.
@@ -472,6 +547,13 @@ type runner struct {
 	// the same order with the same statistics; Trace requires the
 	// legacy walk (see Options.NoStreaming).
 	stream bool
+	// partRel, when non-nil, substitutes for the relation the literal
+	// at depth partDepth reads — the partition-local probe relation of
+	// a partitioned task (eval_parallel.go). partDepth is never 0 in a
+	// partitioned task (depth 0 is the delta), so it cannot collide
+	// with the delta substitution.
+	partRel   *relation.Relation
+	partDepth int
 }
 
 // run walks cc with the delta relation substituted at deltaPos (-1 for
@@ -517,6 +599,8 @@ func (rn *runner) walk(cc *compiledClause, env []value.Value, deltaPos int, delt
 		}
 		if depth == deltaPos {
 			rel = deltaRel
+		} else if rn.partRel != nil && depth == rn.partDepth {
+			rel = rn.partRel
 		}
 		if depth == 0 {
 			return rn.stepScan(cl, rel, env, depth, lo, hi, rec)

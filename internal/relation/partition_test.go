@@ -1,0 +1,144 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+
+	"idlog/internal/value"
+)
+
+// TestPartitionedRoutesEveryTupleOnce: the partition views form an
+// exact disjoint cover of the parent, and each tuple sits where its key
+// hash says.
+func TestPartitionedRoutesEveryTupleOnce(t *testing.T) {
+	r := New("e", 2)
+	for i := 0; i < 200; i++ {
+		r.MustInsert(value.Strs(fmt.Sprintf("a%d", i%17), fmt.Sprintf("b%d", i)))
+	}
+	p := NewPartitioned(r, []int{0}, 4)
+	total := 0
+	for i := 0; i < p.N(); i++ {
+		part := p.Part(i)
+		if part.Len() != p.PartLen(i) {
+			t.Fatalf("partition %d: Len %d != PartLen %d", i, part.Len(), p.PartLen(i))
+		}
+		total += part.Len()
+		part.Scan(0, -1, func(_ int, tup value.Tuple) bool {
+			if want := int(tup.ProjectHash([]int{0}) % 4); want != i {
+				t.Fatalf("tuple %v in partition %d, hash says %d", tup, i, want)
+			}
+			return true
+		})
+	}
+	if total != r.Len() {
+		t.Fatalf("partitions hold %d tuples, parent %d", total, r.Len())
+	}
+}
+
+// TestPartitionedCoPlacement: two relations partitioned on matching key
+// columns with the same fan-out agree on placement, so a per-partition
+// join covers exactly the unpartitioned matches.
+func TestPartitionedCoPlacement(t *testing.T) {
+	delta := New("d", 2)
+	probe := New("e", 2)
+	for i := 0; i < 120; i++ {
+		delta.MustInsert(value.Strs(fmt.Sprintf("x%d", i), fmt.Sprintf("k%d", i%11)))
+		probe.MustInsert(value.Strs(fmt.Sprintf("k%d", i%11), fmt.Sprintf("y%d", i)))
+	}
+	dp := NewPartitioned(delta, []int{1}, 8) // join var at delta col 1
+	pp := NewPartitioned(probe, []int{0}, 8) // same var at probe col 0
+
+	unpartitioned := 0
+	delta.Scan(0, -1, func(_ int, d value.Tuple) bool {
+		unpartitioned += len(probe.Probe([]int{0}, value.Tuple{d[1]}))
+		return true
+	})
+	partitioned := 0
+	for k := 0; k < 8; k++ {
+		dp.Part(k).Scan(0, -1, func(_ int, d value.Tuple) bool {
+			partitioned += len(pp.Part(k).Probe([]int{0}, value.Tuple{d[1]}))
+			return true
+		})
+	}
+	if partitioned != unpartitioned {
+		t.Fatalf("per-partition join found %d matches, unpartitioned %d", partitioned, unpartitioned)
+	}
+}
+
+// TestPartitionedRefresh: tuples appended to the parent after
+// construction are routed by Refresh, and partition-local indexes
+// already built absorb them incrementally (no rebuild, no stale probes).
+func TestPartitionedRefresh(t *testing.T) {
+	r := New("e", 2)
+	for i := 0; i < 50; i++ {
+		r.MustInsert(value.Strs(fmt.Sprintf("k%d", i%5), fmt.Sprintf("v%d", i)))
+	}
+	p := NewPartitioned(r, []int{0}, 3)
+
+	// Build an index on every partition by probing once.
+	before := 0
+	for k := 0; k < 3; k++ {
+		before += len(p.Part(k).Probe([]int{0}, value.Strs("k1")))
+	}
+
+	for i := 50; i < 90; i++ {
+		r.MustInsert(value.Strs(fmt.Sprintf("k%d", i%5), fmt.Sprintf("v%d", i)))
+	}
+	p.Refresh()
+
+	total := 0
+	for k := 0; k < 3; k++ {
+		total += p.PartLen(k)
+	}
+	if total != r.Len() {
+		t.Fatalf("after refresh partitions hold %d tuples, parent %d", total, r.Len())
+	}
+	after := 0
+	for k := 0; k < 3; k++ {
+		after += len(p.Part(k).Probe([]int{0}, value.Strs("k1")))
+	}
+	want := len(r.Probe([]int{0}, value.Strs("k1")))
+	if after != want || after <= before {
+		t.Fatalf("post-refresh probes found %d matches, parent %d (pre-refresh %d)", after, want, before)
+	}
+	// Refresh with nothing new is a no-op.
+	p.Refresh()
+	again := 0
+	for k := 0; k < 3; k++ {
+		again += p.PartLen(k)
+	}
+	if again != r.Len() {
+		t.Fatalf("idempotent refresh changed coverage: %d vs %d", again, r.Len())
+	}
+}
+
+// TestPartitionedSkew: even keys → ratio near 1; all tuples on one key
+// → ratio n; empty → 0.
+func TestPartitionedSkew(t *testing.T) {
+	r := New("e", 1)
+	p := NewPartitioned(r, []int{0}, 4)
+	if got := p.Skew(); got != 0 {
+		t.Fatalf("empty skew = %v, want 0", got)
+	}
+	for i := 0; i < 64; i++ {
+		r.MustInsert(value.Strs("same"))
+	}
+	p.Refresh()
+	if got := p.Skew(); got != 4 {
+		t.Fatalf("single-key skew = %v, want 4 (everything in one of 4 partitions)", got)
+	}
+}
+
+// TestPartitionedCounter: routing bumps the process-wide counter by the
+// number of tuples routed.
+func TestPartitionedCounter(t *testing.T) {
+	r := New("e", 1)
+	for i := 0; i < 33; i++ {
+		r.MustInsert(value.Strs(fmt.Sprintf("v%d", i)))
+	}
+	before := PartitionedTuplesTotal()
+	NewPartitioned(r, []int{0}, 4)
+	if got := PartitionedTuplesTotal() - before; got != 33 {
+		t.Fatalf("counter grew by %d, want 33", got)
+	}
+}

@@ -81,14 +81,39 @@ func WithMaxTuples(n int) Option {
 }
 
 // WithParallelism evaluates each stratum's fixpoint rounds on n
-// worker goroutines. Answers are byte-identical to the sequential
-// engine (n ≤ 1): workers only read round-start state and a
-// deterministic ordered merge performs every insertion, so tuple
-// sets, insertion order, and ID assignment do not depend on n.
-// Budgets and cancellation are honored exactly as in sequential
-// runs. Tracing (WithTrace) forces sequential evaluation.
+// worker goroutines. When unset (or 0) the worker count defaults to
+// runtime.GOMAXPROCS(0) clamped to 8, so multi-core machines evaluate
+// in parallel out of the box; pass 1 to force the sequential engine.
+// Answers are byte-identical to the sequential engine at every n:
+// workers only read round-start state and a deterministic ordered
+// merge performs every insertion, so tuple sets and ID assignment do
+// not depend on n. Budgets and cancellation are honored as hard
+// ceilings (the sequential engine additionally trips budgets at the
+// exact boundary). Tracing (WithTrace) forces sequential evaluation.
 func WithParallelism(n int) Option {
 	return func(c *config) { c.eval.Parallelism = n }
+}
+
+// DefaultParallelism reports the worker count used when WithParallelism
+// is unset: runtime.GOMAXPROCS(0) clamped to 8. Exposed so embedders
+// (idlogd) can resolve and clamp the effective value themselves.
+func DefaultParallelism() int { return core.DefaultParallelism() }
+
+// WithPartitions sets the hash-partition fan-out of partition-parallel
+// evaluation: recursive delta passes whose plan carries a partitionable
+// join key (see ExplainPlan's "partition:" lines) radix-partition the
+// delta and the probed relation on that key into n partitions, each
+// evaluated as an independent task against partition-local probe
+// indexes — no shared-index contention, and partitions no delta tuple
+// reaches never build an index at all. When unset (or 0) the fan-out
+// follows the worker count; WithPartitions(1) disables partitioning
+// and is the differential twin. Answer sets, ID assignment, and
+// fingerprints are byte-identical at every setting (tuple insertion
+// order may differ between fan-outs). Clause bodies with ID-literals
+// or negation, and runs with the planner off, fall back to the
+// range-sharded parallel path.
+func WithPartitions(n int) Option {
+	return func(c *config) { c.eval.Partitions = n }
 }
 
 // WithPlanner enables (the default) or disables the cost-based join
